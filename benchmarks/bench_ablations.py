@@ -1,0 +1,117 @@
+"""Ablation benches A1-A5 (see DESIGN.md's per-experiment index).
+
+* A1 — coordinate-space dimension k (the paper's own future-work question);
+* A2 — Zahn inconsistency factor;
+* A3 — closest-pair vs random border selection;
+* A4 — CSP relaxation method (external / backtrack / exact);
+* A5 — mesh link-information quality (coords vs true).
+"""
+
+from repro.experiments.ablations import (
+    render_border_ablation,
+    render_dimension_ablation,
+    render_inconsistency_ablation,
+    render_mesh_information_ablation,
+    render_method_ablation,
+    run_border_ablation,
+    run_dimension_ablation,
+    run_inconsistency_ablation,
+    run_mesh_information_ablation,
+    run_method_ablation,
+)
+
+from conftest import requests_per_topology
+
+
+def _requests() -> int:
+    return max(50, requests_per_topology() // 2)
+
+
+def test_ablation_a1_dimensions(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_dimension_ablation(requests=_requests(), seed=201),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_a1_dimensions",
+         "A1 — coordinate-space dimension\n" + render_dimension_ablation(rows))
+
+
+def test_ablation_a2_inconsistency_factor(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_inconsistency_ablation(requests=_requests(), seed=202),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_a2_factor",
+         "A2 — MST inconsistency factor\n" + render_inconsistency_ablation(rows))
+
+
+def test_ablation_a3_border_rule(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_border_ablation(requests=_requests(), seed=203),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_a3_borders",
+         "A3 — border-selection rule\n" + render_border_ablation(rows))
+
+
+def test_ablation_a4_csp_method(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_method_ablation(requests=_requests(), seed=204),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_a4_methods",
+         "A4 — CSP relaxation method\n" + render_method_ablation(rows))
+
+
+def test_ablation_a5_mesh_information(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_mesh_information_ablation(requests=_requests(), seed=205),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_a5_mesh_info",
+         "A5 — mesh link-information quality\n"
+         + render_mesh_information_ablation(rows))
+
+
+def test_ablation_a6_aggregation_representation(benchmark, emit):
+    from repro.experiments.ablations import (
+        render_aggregation_ablation,
+        run_aggregation_ablation,
+    )
+
+    rows = benchmark.pedantic(
+        lambda: run_aggregation_ablation(requests=_requests(), seed=206),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_a6_aggregation",
+         "A6 — cluster representation (all borders vs single logical node)\n"
+         + render_aggregation_ablation(rows))
+
+
+def test_ablation_a7_landmark_placement(benchmark, emit):
+    from repro.experiments.ablations import (
+        render_landmark_ablation,
+        run_landmark_ablation,
+    )
+
+    rows = benchmark.pedantic(
+        lambda: run_landmark_ablation(requests=_requests(), seed=207),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_a7_landmarks",
+         "A7 — landmark placement (k-center vs random)\n"
+         + render_landmark_ablation(rows))
+
+
+def test_ablation_a8_mesh_family(benchmark, emit):
+    from repro.experiments.ablations import (
+        render_mesh_family_ablation,
+        run_mesh_family_ablation,
+    )
+
+    rows = benchmark.pedantic(
+        lambda: run_mesh_family_ablation(requests=_requests(), seed=208),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_a8_mesh_family",
+         "A8 — overlay topology family\n" + render_mesh_family_ablation(rows))

@@ -1,0 +1,47 @@
+"""Extension bench E1 — dynamic membership (paper Section 7 future work).
+
+Drives a churn session (joins + leaves) against a built framework and
+reports clustering quality with and without the automatic restructuring
+mechanism the paper calls for.
+"""
+
+from repro.core import HFCFramework
+from repro.experiments import ascii_table, scaled_table1
+from repro.membership import run_churn_session
+
+
+def test_churn_quality_with_and_without_restructuring(benchmark, emit):
+    spec = scaled_table1()[0]
+
+    def run():
+        rows = []
+        for label, tolerance in (("no restructuring", None), ("tolerance 0.7", 0.7)):
+            framework = HFCFramework.build(
+                proxy_count=spec.proxies, seed=401,
+            )
+            dyn = run_churn_session(
+                framework, events=40, seed=402, restructure_tolerance=tolerance
+            )
+            restructures = sum(1 for e in dyn.history if e.kind == "restructure")
+            rows.append(
+                [
+                    label,
+                    dyn.size,
+                    dyn.clustering.cluster_count,
+                    restructures,
+                    dyn.quality(),
+                    dyn.fresh_quality(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "churn",
+        "E1 — churn (40 events): clustering quality vs restructuring policy\n"
+        + ascii_table(
+            ["policy", "size", "clusters", "restructures",
+             "quality", "fresh quality"],
+            rows,
+        ),
+    )

@@ -1,0 +1,41 @@
+"""Fig 10 — average service-path length: Mesh vs HFC w/ and w/o aggregation.
+
+Paper shape: HFC with state aggregation is comparable to (slightly better
+than) the single-level mesh despite its aggregation imprecision; HFC without
+aggregation (full state) is the best of the three. An oracle series (true
+delay optimal routing) is added as the unreachable lower bound.
+"""
+
+from repro.experiments import run_path_efficiency, series_block
+
+from conftest import fig10_topologies, requests_per_topology
+
+
+def test_fig10_path_efficiency(benchmark, emit):
+    def run():
+        return run_path_efficiency(
+            strategies=("mesh", "hfc_agg", "hfc_full", "oracle"),
+            topologies_per_size=fig10_topologies(),
+            requests_per_topology=requests_per_topology(),
+            seed=100,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    xs = [p.proxies for p in result.points]
+    emit(
+        "fig10",
+        series_block(
+            "Fig 10 — avg. service path length in true-delay units "
+            f"({fig10_topologies()} topologies x "
+            f"{requests_per_topology()} requests per size)",
+            {
+                name: [p.mean_delay[name] for p in result.points]
+                for name in ("mesh", "hfc_agg", "hfc_full", "oracle")
+            },
+            xs,
+        ),
+    )
+    for point in result.points:
+        # no failed requests, and the oracle bound holds
+        assert all(v == 0 for v in point.failures.values())
+        assert point.mean_delay["oracle"] <= point.mean_delay["hfc_full"]

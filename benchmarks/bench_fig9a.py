@@ -1,0 +1,34 @@
+"""Fig 9(a) — coordinates-related node-states per proxy, flat vs HFC.
+
+Paper shape: flat grows linearly (slope 1); hierarchical stays dramatically
+lower and grows slowly.
+"""
+
+from repro.experiments import run_overhead_experiment, series_block
+
+from conftest import fig9_topologies
+
+
+def test_fig9a_coordinates_overhead(benchmark, emit):
+    def run():
+        return run_overhead_experiment(
+            topologies_per_size=fig9_topologies(), seed=91
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    xs = [p.proxies for p in result.coordinates]
+    emit(
+        "fig9a",
+        series_block(
+            "Fig 9(a) — coordinates-related node-states per proxy "
+            f"(mean of {fig9_topologies()} topologies)",
+            {
+                "flat": [p.flat for p in result.coordinates],
+                "hierarchical": [p.hierarchical for p in result.coordinates],
+                "hier std": [p.hierarchical_std for p in result.coordinates],
+            },
+            xs,
+        ),
+    )
+    # the paper's qualitative claim must hold at any scale
+    assert all(p.hierarchical < p.flat for p in result.coordinates)

@@ -1,0 +1,33 @@
+"""Fig 9(b) — service-capability node-states per proxy, flat vs HFC.
+
+Paper shape: flat is exactly n; hierarchical is |own cluster| + #clusters,
+far smaller and slowly growing.
+"""
+
+from repro.experiments import run_overhead_experiment, series_block
+
+from conftest import fig9_topologies
+
+
+def test_fig9b_service_overhead(benchmark, emit):
+    def run():
+        return run_overhead_experiment(
+            topologies_per_size=fig9_topologies(), seed=92
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    xs = [p.proxies for p in result.service]
+    emit(
+        "fig9b",
+        series_block(
+            "Fig 9(b) — service-related node-states per proxy "
+            f"(mean of {fig9_topologies()} topologies)",
+            {
+                "flat": [p.flat for p in result.service],
+                "hierarchical": [p.hierarchical for p in result.service],
+                "hier std": [p.hierarchical_std for p in result.service],
+            },
+            xs,
+        ),
+    )
+    assert all(p.hierarchical < p.flat for p in result.service)

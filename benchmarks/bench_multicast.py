@@ -1,0 +1,57 @@
+"""Extension bench E3 — service multicast trees vs per-destination unicast.
+
+Total delivery cost (service chain paid once + shared distribution links)
+against the unicast baseline, as the destination count grows. The shared
+chain amortises, so the saving ratio must widen with the group size.
+"""
+
+import random
+
+from repro.core import HFCFramework
+from repro.experiments import ascii_table, scaled_table1
+from repro.multicast import MulticastRequest, build_service_tree, unicast_baseline_cost
+from repro.routing import HierarchicalRouter
+from repro.services import linear_graph
+
+
+def test_multicast_saving_vs_group_size(benchmark, emit):
+    spec = scaled_table1()[0]
+    group_sizes = (2, 4, 8, 16)
+
+    def run():
+        framework = HFCFramework.build(proxy_count=spec.proxies, seed=601)
+        router = HierarchicalRouter(framework.hfc)
+        rng = random.Random(602)
+        rows = []
+        for size in group_sizes:
+            tree_costs, unicast_costs = [], []
+            for _ in range(10):
+                picked = rng.sample(framework.overlay.proxies, size + 1)
+                names = [
+                    rng.choice(list(framework.catalog.names)) for _ in range(5)
+                ]
+                request = MulticastRequest(
+                    picked[0], linear_graph(names), tuple(picked[1:])
+                )
+                tree = build_service_tree(router, request)
+                tree_costs.append(tree.total_cost(framework.overlay))
+                unicast_costs.append(
+                    unicast_baseline_cost(router, request, framework.overlay)
+                )
+            mean_tree = sum(tree_costs) / len(tree_costs)
+            mean_unicast = sum(unicast_costs) / len(unicast_costs)
+            rows.append(
+                [size, mean_tree, mean_unicast, mean_tree / mean_unicast]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "multicast",
+        "E3 — service multicast tree vs unicast (total delivery cost)\n"
+        + ascii_table(
+            ["destinations", "tree cost", "unicast cost", "ratio"], rows
+        ),
+    )
+    ratios = [r[3] for r in rows]
+    assert ratios[-1] < ratios[0]  # amortisation widens with group size

@@ -1,0 +1,70 @@
+"""Extension bench E5 — a third hierarchy level: state vs path quality.
+
+Extends Fig 9's argument one level up: grouping clusters into
+super-clusters shrinks per-proxy state again, at a path-quality price.
+The bench quantifies both sides at the two larger environment sizes.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    WorkloadConfig,
+    ascii_table,
+    build_environment,
+    generate_requests,
+    scaled_table1,
+)
+from repro.hierarchy import ThreeLevelRouter, build_multilevel
+from repro.routing import HierarchicalRouter
+from repro.state import coordinates_node_states, service_node_states
+
+
+def test_third_level_state_vs_paths(benchmark, emit):
+    specs = scaled_table1()[-2:]
+
+    def run():
+        rows = []
+        for i, spec in enumerate(specs):
+            env = build_environment(spec, seed=901 + i)
+            fw = env.framework
+            ml = build_multilevel(fw.hfc)
+            requests = generate_requests(
+                env, WorkloadConfig(request_count=60), seed=902 + i
+            )
+            two_router = HierarchicalRouter(fw.hfc)
+            three_router = ThreeLevelRouter(ml)
+            d2 = np.mean(
+                [two_router.route(r).true_delay(fw.overlay) for r in requests]
+            )
+            d3 = np.mean(
+                [three_router.route(r).true_delay(fw.overlay) for r in requests]
+            )
+            c2 = np.mean(list(coordinates_node_states(fw.hfc).values()))
+            c3 = np.mean(list(ml.coordinates_node_states().values()))
+            s2 = np.mean(list(service_node_states(fw.hfc).values()))
+            s3 = np.mean(list(ml.service_node_states().values()))
+            rows.append(
+                [
+                    spec.proxies,
+                    fw.clustering.cluster_count,
+                    ml.super_count,
+                    float(c2), float(c3),
+                    float(s2), float(s3),
+                    float(d2), float(d3),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "multilevel",
+        "E5 — third hierarchy level: per-proxy state vs path quality\n"
+        + ascii_table(
+            ["proxies", "clusters", "supers",
+             "coord 2L", "coord 3L", "svc 2L", "svc 3L",
+             "delay 2L", "delay 3L"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[4] <= row[3] + 1e-9  # the third level never inflates state

@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the core primitives.
+
+These use pytest-benchmark's statistical timing (multiple rounds) since the
+functions are cheap: Dijkstra on the physical substrate, the vectorised
+Euclidean MST, the landmark embedding step, and one service-DAG solve.
+They guard against performance regressions in the inner loops that the
+figure-level benches amplify by thousands of calls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coords import embed_landmarks, locate_host
+from repro.core import FrameworkConfig, HFCFramework
+from repro.graph import euclidean_mst
+from repro.graph.shortest_paths import dijkstra
+from repro.netsim import PhysicalNetwork, transit_stub
+from repro.routing import solve_vectorised
+from repro.routing.providers import CoordinateProvider
+
+
+@pytest.fixture(scope="module")
+def physical():
+    return PhysicalNetwork(transit_stub(300, seed=61), noise=0.1, seed=62)
+
+
+@pytest.fixture(scope="module")
+def framework():
+    return HFCFramework.build(
+        proxy_count=60, config=FrameworkConfig(physical_nodes=200), seed=63
+    )
+
+
+def test_bench_dijkstra_300_nodes(benchmark, physical):
+    source = physical.graph.nodes()[0]
+    dist, _ = benchmark(dijkstra, physical.graph, source)
+    assert len(dist) == 300
+
+
+def test_bench_euclidean_mst_500_points(benchmark):
+    rng = np.random.default_rng(7)
+    points = rng.uniform(0, 1000, size=(500, 2))
+    edges = benchmark(euclidean_mst, points)
+    assert len(edges) == 499
+
+
+def test_bench_embed_landmarks(benchmark, physical):
+    landmarks = physical.graph.nodes()[:10]
+    measured = np.array(
+        [[physical.delay(a, b) for b in landmarks] for a in landmarks]
+    )
+    coords = benchmark(embed_landmarks, measured, 2, seed=1)
+    assert coords.shape == (10, 2)
+
+
+def test_bench_locate_host(benchmark, physical):
+    landmarks = physical.graph.nodes()[:10]
+    host = physical.graph.nodes()[50]
+    landmark_coords = np.random.default_rng(3).uniform(0, 100, size=(10, 2))
+    measured = [physical.delay(host, lm) for lm in landmarks]
+    result = benchmark(locate_host, landmark_coords, measured)
+    assert result.shape == (2,)
+
+
+def test_bench_service_dag_solve(benchmark, framework):
+    request = framework.random_request(min_length=8, max_length=8, seed=5)
+    provider = CoordinateProvider(framework.space)
+    candidates = {
+        slot: framework.overlay.providers_of(
+            request.service_graph.service_of(slot)
+        )
+        for slot in request.service_graph.slots()
+    }
+    solution = benchmark(
+        solve_vectorised,
+        request.service_graph,
+        candidates,
+        request.source_proxy,
+        request.destination_proxy,
+        provider.block,
+    )
+    assert solution.cost > 0
+
+
+def test_bench_hierarchical_route(benchmark, framework):
+    router = framework.hierarchical_router()
+    request = framework.random_request(seed=9)
+    path = benchmark(router.route, request)
+    assert path.source == request.source_proxy

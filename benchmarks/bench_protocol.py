@@ -1,0 +1,44 @@
+"""Protocol-cost bench — the Section 4 state-distribution protocol.
+
+Not a figure in the paper, but the natural cost companion to Fig 9: how
+many messages (and service-name units) the hierarchical protocol needs to
+reach a converged partial-global state, per overlay size.
+"""
+
+from repro.experiments import ascii_table, build_environment, scaled_table1
+from repro.state import StateDistributionProtocol
+
+
+def test_protocol_convergence_cost(benchmark, emit):
+    specs = scaled_table1()[:2]  # the two smaller sizes keep this bench quick
+
+    def run():
+        rows = []
+        for i, spec in enumerate(specs):
+            env = build_environment(spec, seed=300 + i)
+            protocol = StateDistributionProtocol(env.framework.hfc, seed=301 + i)
+            report = protocol.run(max_time=30000.0)
+            rows.append(
+                [
+                    spec.proxies,
+                    env.framework.clustering.cluster_count,
+                    report.converged_at if report.converged_at is not None else -1,
+                    report.messages_by_kind.get("local_state", 0),
+                    report.messages_by_kind.get("aggregate_state", 0),
+                    report.messages_by_kind.get("aggregate_forward", 0),
+                    report.total_size,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "protocol",
+        "Section 4 protocol — cost to converged partial-global state\n"
+        + ascii_table(
+            ["proxies", "clusters", "converged@",
+             "local msgs", "aggregate msgs", "forward msgs", "total size"],
+            rows,
+        ),
+    )
+    assert all(r[2] >= 0 for r in rows)  # every run converged

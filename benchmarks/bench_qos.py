@@ -1,0 +1,54 @@
+"""Extension bench E2 — bandwidth-aware routing (paper Section 7 future work).
+
+Sweeps the minimum-bandwidth requirement and reports, for hierarchical QoS
+routing: satisfaction rate, mean true delay of satisfied paths, and the mean
+bottleneck bandwidth actually delivered.
+"""
+
+from repro.core import HFCFramework
+from repro.experiments import ascii_table, scaled_table1
+from repro.qos import BandwidthModel, QoSHierarchicalRouter
+from repro.util.errors import NoFeasiblePathError
+
+import numpy as np
+
+
+def test_qos_requirement_sweep(benchmark, emit):
+    spec = scaled_table1()[0]
+    floors = (0.0, 15.0, 30.0, 60.0)
+
+    def run():
+        framework = HFCFramework.build(proxy_count=spec.proxies, seed=501)
+        model = BandwidthModel(framework.physical, seed=502)
+        requests = [framework.random_request(seed=s) for s in range(60)]
+        rows = []
+        for floor in floors:
+            router = QoSHierarchicalRouter(framework.hfc, model, floor)
+            delays, bandwidths, satisfied = [], [], 0
+            for request in requests:
+                try:
+                    path = router.route(request)
+                except NoFeasiblePathError:
+                    continue
+                satisfied += 1
+                delays.append(path.true_delay(framework.overlay))
+                bandwidths.append(model.path_bandwidth(path.proxies()))
+            rows.append(
+                [
+                    floor,
+                    f"{satisfied}/{len(requests)}",
+                    float(np.mean(delays)) if delays else float("nan"),
+                    float(np.mean(bandwidths)) if bandwidths else float("nan"),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "qos",
+        "E2 — hierarchical QoS routing vs bandwidth floor (Mbps)\n"
+        + ascii_table(
+            ["min bandwidth", "satisfied", "mean delay", "mean bottleneck bw"],
+            rows,
+        ),
+    )

@@ -1,0 +1,21 @@
+"""Extension bench E4 — failure resilience of streaming sessions.
+
+One mid-path service proxy fails per session; delivery rate is compared
+with and without watchdog-triggered hierarchical re-routing.
+"""
+
+from repro.experiments.resilience import render_resilience, run_resilience_experiment
+
+
+def test_resilience_recovery_value(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_resilience_experiment(sessions=8, seed=701),
+        rounds=1, iterations=1,
+    )
+    emit("resilience", "E4 — session delivery under proxy failure\n"
+         + render_resilience(rows))
+    by_policy = {r.policy: r for r in rows}
+    assert (
+        by_policy["reroute"].delivery_rate.mean
+        >= by_policy["no recovery"].delivery_rate.mean
+    )

@@ -1,0 +1,66 @@
+"""Setup-latency bench — the control-plane price of divide-and-conquer.
+
+Single-node routing (flat, mesh, HFC-full-state) computes paths locally;
+the hierarchical scheme distributes child requests and waits for replies.
+This bench measures that setup latency and message count across overlay
+sizes — the latency the framework trades for Fig 9's state savings.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    WorkloadConfig,
+    ascii_table,
+    build_environment,
+    generate_requests,
+    scaled_table1,
+)
+from repro.routing import HierarchicalRouter
+from repro.routing.signaling import SignalingSimulator
+
+from conftest import requests_per_topology
+
+
+def test_signaling_setup_latency(benchmark, emit):
+    specs = scaled_table1()[:3]
+    count = max(30, requests_per_topology() // 4)
+
+    def run():
+        rows = []
+        for i, spec in enumerate(specs):
+            env = build_environment(spec, seed=801 + i)
+            router = HierarchicalRouter(env.framework.hfc)
+            signaling = SignalingSimulator(router)
+            requests = generate_requests(
+                env, WorkloadConfig(request_count=count), seed=802 + i
+            )
+            latencies, messages, path_delays = [], [], []
+            for request in requests:
+                report = signaling.resolve(request)
+                latencies.append(report.setup_latency)
+                messages.append(report.control_messages)
+                path_delays.append(report.path.true_delay(env.framework.overlay))
+            rows.append(
+                [
+                    spec.proxies,
+                    float(np.mean(latencies)),
+                    float(np.max(latencies)),
+                    float(np.mean(messages)),
+                    float(np.mean(path_delays)),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "signaling",
+        "Setup latency of hierarchical route resolution\n"
+        + ascii_table(
+            ["proxies", "mean setup (ms)", "max setup (ms)",
+             "mean ctrl msgs", "mean path delay (ms)"],
+            rows,
+        ),
+    )
+    # setup is one round trip to the slowest child: same order as a path delay
+    for row in rows:
+        assert row[1] < row[4] * 3

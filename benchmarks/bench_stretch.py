@@ -1,0 +1,21 @@
+"""Extension bench E7 — per-request stretch distributions vs the oracle."""
+
+from repro.experiments.stretch import render_stretch, run_stretch_analysis
+
+from conftest import requests_per_topology
+
+
+def test_stretch_distribution(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: run_stretch_analysis(
+            request_count=max(100, requests_per_topology()), seed=1100
+        ),
+        rounds=1, iterations=1,
+    )
+    emit("stretch", "E7 — per-request stretch vs true-delay optimum\n"
+         + render_stretch(rows))
+    by = {r.strategy: r for r in rows}
+    # every strategy's stretch is >= 1 by definition of the oracle
+    assert all(r.median >= 1.0 for r in rows)
+    # HFC keeps a better median than the mesh (the Fig 10 story, per request)
+    assert by["hfc_agg"].median <= by["mesh"].median * 1.1

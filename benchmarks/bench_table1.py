@@ -1,0 +1,48 @@
+"""Table 1 — simulation test environments.
+
+Regenerates the paper's environment table at the active scale and builds one
+instance of each row, reporting the measured system shape (cluster count,
+border proxies, catalog size) alongside the specified parameters.
+"""
+
+from repro.experiments import ascii_table, build_environment, scaled_table1
+
+from conftest import fig9_topologies  # noqa: F401  (shared scale plumbing)
+
+
+def test_table1_environments(benchmark, emit):
+    specs = scaled_table1()
+
+    def run():
+        rows = []
+        for i, spec in enumerate(specs):
+            env = build_environment(spec, seed=1000 + i)
+            fw = env.framework
+            rows.append(
+                [
+                    spec.physical_nodes,
+                    spec.landmarks,
+                    spec.proxies,
+                    spec.clients,
+                    f"{spec.min_services}-{spec.max_services}",
+                    f"{spec.min_request_length}-{spec.max_request_length}",
+                    fw.clustering.cluster_count,
+                    len(fw.hfc.all_border_nodes()),
+                    len(fw.catalog),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table1",
+        ascii_table(
+            [
+                "physical", "landmarks", "proxies", "clients",
+                "services/proxy", "req. length",
+                "clusters*", "borders*", "catalog*",
+            ],
+            rows,
+        )
+        + "\n(* measured on one built instance; paper columns left of them)",
+    )

@@ -1,0 +1,60 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation) and prints the same rows/series the paper reports. Scale is
+controlled by ``REPRO_SCALE`` (see ``repro.experiments.environments``):
+the default "small" keeps a full ``pytest benchmarks/ --benchmark-only``
+run in minutes; ``REPRO_SCALE=full`` reproduces Table 1 exactly.
+
+Two further knobs bound the heavy experiments:
+
+* ``REPRO_TOPOLOGIES`` — physical topologies per size (paper: 10 for
+  Fig 9, 5 for Fig 10);
+* ``REPRO_REQUESTS`` — client requests per topology (paper: 1000).
+
+Rendered outputs are also written to ``benchmarks/out/<name>.txt`` so the
+results survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment override with a default."""
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+def is_full_scale() -> bool:
+    return os.environ.get("REPRO_SCALE", "small").strip().lower() in ("full", "1", "1.0")
+
+
+def fig9_topologies() -> int:
+    return env_int("REPRO_TOPOLOGIES", 10 if is_full_scale() else 3)
+
+
+def fig10_topologies() -> int:
+    return env_int("REPRO_TOPOLOGIES", 5 if is_full_scale() else 2)
+
+
+def requests_per_topology() -> int:
+    return env_int("REPRO_REQUESTS", 1000 if is_full_scale() else 150)
+
+
+@pytest.fixture
+def emit():
+    """Print a rendered experiment block and persist it under benchmarks/out."""
+
+    def _emit(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _emit

@@ -1,0 +1,90 @@
+"""The paper's two future-work extensions, running together.
+
+Part 1 — dynamic membership (Section 7): proxies join (deriving coordinates
+from the landmarks, joining their nearest neighbour's cluster) and leave;
+clustering quality is tracked and the overlay restructures when it decays.
+
+Part 2 — QoS (Section 7): bandwidth capacities on physical links, and
+hierarchical routing under a minimum-bandwidth requirement.
+
+Run:  python examples/churn_and_qos.py [seed]
+"""
+
+import sys
+
+from repro.core import HFCFramework
+from repro.membership import DynamicOverlay
+from repro.qos import BandwidthModel, QoSHierarchicalRouter
+from repro.routing import HierarchicalRouter
+from repro.util.errors import NoFeasiblePathError
+
+
+def churn_demo(framework: HFCFramework, seed: int) -> None:
+    import random
+
+    print("=== Part 1: dynamic membership ===")
+    dyn = DynamicOverlay(framework, restructure_tolerance=0.7)
+    print(f"start: {dyn.size} proxies, {dyn.clustering.cluster_count} clusters, "
+          f"quality {dyn.quality():.2f}")
+
+    rng = random.Random(seed)
+    free = [
+        s for s in framework.physical.topology.stub_nodes
+        if s not in set(dyn.proxies)
+    ]
+    rng.shuffle(free)
+    catalog = list(framework.catalog.names)
+
+    for step in range(12):
+        if rng.random() < 0.5 and free:
+            router_id = free.pop()
+            services = frozenset(rng.sample(catalog, 4))
+            dyn.join(router_id, services)
+            action = f"join  proxy {router_id}"
+        else:
+            victim = rng.choice(dyn.proxies)
+            dyn.leave(victim)
+            action = f"leave proxy {victim}"
+        event = dyn.history[-1]
+        print(f"  step {step:2d}: {action:<22} -> {dyn.clustering.cluster_count} "
+              f"clusters, quality {event.quality_after:.2f}")
+
+    restructures = sum(1 for e in dyn.history if e.kind == "restructure")
+    print(f"end: {dyn.size} proxies, quality {dyn.quality():.2f} "
+          f"(fresh re-clustering would give {dyn.fresh_quality():.2f}); "
+          f"{restructures} automatic restructurings")
+    print()
+
+
+def qos_demo(framework: HFCFramework, seed: int) -> None:
+    print("=== Part 2: bandwidth-aware routing ===")
+    model = BandwidthModel(framework.physical, seed=seed)
+    request = framework.random_request(seed=seed + 1)
+    print(f"request: {request}")
+
+    best_effort = HierarchicalRouter(framework.hfc).route(request)
+    print(f"  best-effort : delay {best_effort.true_delay(framework.overlay):7.1f} ms, "
+          f"bottleneck {model.path_bandwidth(best_effort.proxies()):6.1f} Mbps")
+
+    for floor in (10.0, 25.0, 50.0, 100.0):
+        router = QoSHierarchicalRouter(framework.hfc, model, floor)
+        try:
+            path = router.route(request)
+        except NoFeasiblePathError:
+            print(f"  bw >= {floor:5.1f} : infeasible")
+            continue
+        print(f"  bw >= {floor:5.1f} : delay {path.true_delay(framework.overlay):7.1f} ms, "
+              f"bottleneck {model.path_bandwidth(path.proxies()):6.1f} Mbps")
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 17
+    framework = HFCFramework.build(proxy_count=80, seed=seed)
+    print(framework.describe())
+    print()
+    churn_demo(framework, seed)
+    qos_demo(framework, seed)
+
+
+if __name__ == "__main__":
+    main()

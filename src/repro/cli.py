@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``    — build a framework, route one request with every strategy;
+* ``table1``  — print the (scaled) Table 1 environments;
+* ``fig9``    — regenerate Fig 9 (state-maintenance overhead);
+* ``fig10``   — regenerate Fig 10 (service-path efficiency);
+* ``report``  — regenerate the complete evaluation as one markdown report;
+* ``protocol``— run the Section-4 state protocol and print its cost.
+
+Common flags: ``--scale`` (fraction of paper sizes), ``--seed``,
+``--json FILE`` (machine-readable output where supported).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import HFCFramework
+from repro.experiments import (
+    ascii_table,
+    run_overhead_experiment,
+    run_path_efficiency,
+    scaled_table1,
+)
+from repro.experiments.serialize import (
+    dump_json,
+    efficiency_to_dict,
+    overhead_to_dict,
+)
+from repro.routing import validate_path
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="fraction of the paper's Table 1 sizes (default 0.2)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write results as JSON")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    framework = HFCFramework.build(proxy_count=args.proxies, seed=args.seed)
+    print(framework.describe())
+    request = framework.random_request(seed=args.seed + 1)
+    print(f"request: {request}")
+    strategies = {
+        "hierarchical": framework.hierarchical_router(),
+        "mesh": framework.mesh_router(seed=args.seed + 2),
+        "hfc-full-state": framework.full_state_router(),
+        "oracle": framework.oracle_router(),
+    }
+    rows = []
+    for name, router in strategies.items():
+        path = router.route(request)
+        validate_path(path, request, framework.overlay)
+        rows.append(
+            [name, f"{path.true_delay(framework.overlay):.1f}",
+             path.overlay_hop_count, path.relay_count()]
+        )
+    print(ascii_table(["strategy", "true delay (ms)", "hops", "relays"], rows))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    specs = scaled_table1(args.scale)
+    print(ascii_table(
+        ["physical", "landmarks", "proxies", "clients",
+         "services/proxy", "req. length"],
+        [
+            [s.physical_nodes, s.landmarks, s.proxies, s.clients,
+             f"{s.min_services}-{s.max_services}",
+             f"{s.min_request_length}-{s.max_request_length}"]
+            for s in specs
+        ],
+    ))
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    result = run_overhead_experiment(
+        scaled_table1(args.scale),
+        topologies_per_size=args.topologies,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.json:
+        dump_json(overhead_to_dict(result), args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def cmd_fig10(args: argparse.Namespace) -> int:
+    result = run_path_efficiency(
+        scaled_table1(args.scale),
+        strategies=tuple(args.strategies.split(",")),
+        topologies_per_size=args.topologies,
+        requests_per_topology=args.requests,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.json:
+        dump_json(efficiency_to_dict(result), args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.full_report import generate_full_report
+
+    report = generate_full_report(
+        scale=args.scale,
+        topologies=args.topologies,
+        requests=args.requests,
+        include_ablations=not args.no_ablations,
+        seed=args.seed,
+    )
+    if args.json:
+        # the report is markdown; --json writes it to the given file instead
+        with open(args.json, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.json}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_protocol(args: argparse.Namespace) -> int:
+    framework = HFCFramework.build(proxy_count=args.proxies, seed=args.seed)
+    print(framework.describe())
+    report = framework.run_state_protocol(seed=args.seed + 1)
+    rows = [[kind, count] for kind, count in sorted(report.messages_by_kind.items())]
+    rows.append(["total", report.total_messages])
+    print(ascii_table(["message kind", "count"], rows))
+    print(f"converged at t={report.converged_at}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Jin & Nahrstedt, Middleware 2003",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="route one request with every strategy")
+    demo.add_argument("--proxies", type=int, default=100)
+    _add_common(demo)
+    demo.set_defaults(fn=cmd_demo)
+
+    table1 = sub.add_parser("table1", help="print the (scaled) environments")
+    _add_common(table1)
+    table1.set_defaults(fn=cmd_table1)
+
+    fig9 = sub.add_parser("fig9", help="regenerate Fig 9")
+    _add_common(fig9)
+    fig9.add_argument("--topologies", type=int, default=3)
+    fig9.set_defaults(fn=cmd_fig9)
+
+    fig10 = sub.add_parser("fig10", help="regenerate Fig 10")
+    _add_common(fig10)
+    fig10.add_argument("--topologies", type=int, default=2)
+    fig10.add_argument("--requests", type=int, default=150)
+    fig10.add_argument("--strategies", default="mesh,hfc_agg,hfc_full")
+    fig10.set_defaults(fn=cmd_fig10)
+
+    report = sub.add_parser(
+        "report", help="regenerate the complete evaluation as markdown"
+    )
+    _add_common(report)
+    report.add_argument("--topologies", type=int, default=2)
+    report.add_argument("--requests", type=int, default=100)
+    report.add_argument("--no-ablations", action="store_true")
+    report.set_defaults(fn=cmd_report)
+
+    protocol = sub.add_parser("protocol", help="run the state protocol")
+    protocol.add_argument("--proxies", type=int, default=100)
+    _add_common(protocol)
+    protocol.set_defaults(fn=cmd_protocol)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Distance-based clustering: Zahn MST clustering, quality metrics, baselines."""
+
+from repro.cluster.kcenter import kcenter_cluster
+from repro.cluster.mstcluster import Clustering, ClusteringConfig, cluster_nodes
+from repro.cluster.quality import (
+    inter_cluster_mean_distance,
+    intra_cluster_mean_distance,
+    separation_ratio,
+    silhouette_mean,
+    size_statistics,
+)
+
+__all__ = [
+    "Clustering",
+    "ClusteringConfig",
+    "cluster_nodes",
+    "inter_cluster_mean_distance",
+    "intra_cluster_mean_distance",
+    "kcenter_cluster",
+    "separation_ratio",
+    "silhouette_mean",
+    "size_statistics",
+]

@@ -1,0 +1,108 @@
+"""Clustering-quality diagnostics.
+
+The paper argues distance-based clustering makes "small groups of closely
+located proxies" — these metrics quantify that claim and power the churn
+experiment (clustering quality decaying under joins/leaves) and the
+inconsistency-factor ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+import numpy as np
+
+from repro.cluster.mstcluster import Clustering
+from repro.coords.space import CoordinateSpace
+from repro.util.errors import ClusteringError
+
+NodeId = Hashable
+
+
+def intra_cluster_mean_distance(space: CoordinateSpace, clustering: Clustering) -> float:
+    """Mean pairwise geometric distance within clusters (size >= 2 only)."""
+    totals = []
+    for members in clustering.clusters:
+        if len(members) < 2:
+            continue
+        matrix = space.distance_matrix(members)
+        iu = np.triu_indices_from(matrix, k=1)
+        totals.extend(matrix[iu].tolist())
+    if not totals:
+        raise ClusteringError("no cluster with >= 2 members")
+    return float(np.mean(totals))
+
+
+def inter_cluster_mean_distance(space: CoordinateSpace, clustering: Clustering) -> float:
+    """Mean centroid-to-centroid distance between distinct clusters."""
+    if clustering.cluster_count < 2:
+        raise ClusteringError("need >= 2 clusters for inter-cluster distance")
+    centroids = np.array(
+        [space.array(members).mean(axis=0) for members in clustering.clusters]
+    )
+    diff = centroids[:, None, :] - centroids[None, :, :]
+    matrix = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    iu = np.triu_indices_from(matrix, k=1)
+    return float(matrix[iu].mean())
+
+
+def separation_ratio(space: CoordinateSpace, clustering: Clustering) -> float:
+    """inter / intra mean distance — higher means better-separated clusters."""
+    return inter_cluster_mean_distance(space, clustering) / max(
+        intra_cluster_mean_distance(space, clustering), 1e-12
+    )
+
+
+def silhouette_mean(
+    space: CoordinateSpace,
+    clustering: Clustering,
+    sample: int = 200,
+    seed: int = 0,
+) -> float:
+    """Mean silhouette coefficient over up to *sample* nodes.
+
+    Standard definition: for node i with mean intra-cluster distance a(i) and
+    smallest mean distance to another cluster b(i), the silhouette is
+    ``(b - a) / max(a, b)``; nodes in singleton clusters contribute 0.
+    """
+    import random
+
+    if clustering.cluster_count < 2:
+        raise ClusteringError("silhouette requires >= 2 clusters")
+    rng = random.Random(seed)
+    nodes = list(clustering.labels)
+    if len(nodes) > sample:
+        nodes = rng.sample(nodes, sample)
+    scores: List[float] = []
+    cluster_arrays = [space.array(members) for members in clustering.clusters]
+    for node in nodes:
+        own = clustering.cluster_of(node)
+        point = np.array(space.coordinate(node))
+        own_members = clustering.clusters[own]
+        if len(own_members) < 2:
+            scores.append(0.0)
+            continue
+        own_d = np.linalg.norm(cluster_arrays[own] - point, axis=1)
+        a = float(own_d.sum() / (len(own_members) - 1))
+        b = min(
+            float(np.linalg.norm(cluster_arrays[cid] - point, axis=1).mean())
+            for cid in range(clustering.cluster_count)
+            if cid != own
+        )
+        denom = max(a, b)
+        scores.append(0.0 if denom == 0 else (b - a) / denom)
+    return float(np.mean(scores))
+
+
+def size_statistics(clustering: Clustering) -> Dict[str, float]:
+    """Min/max/mean/std of cluster sizes plus largest-cluster fraction."""
+    sizes = np.array(clustering.sizes(), dtype=float)
+    total = sizes.sum()
+    return {
+        "count": float(sizes.size),
+        "min": float(sizes.min()),
+        "max": float(sizes.max()),
+        "mean": float(sizes.mean()),
+        "std": float(sizes.std()),
+        "largest_fraction": float(sizes.max() / total) if total else 0.0,
+    }

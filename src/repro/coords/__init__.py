@@ -1,0 +1,27 @@
+"""Network coordinates: Nelder-Mead, landmark embedding, coordinate spaces."""
+
+from repro.coords.embedding import (
+    EmbeddingReport,
+    build_coordinate_space,
+    choose_landmarks,
+    classical_mds,
+    embed_landmarks,
+    embedding_accuracy,
+    locate_host,
+)
+from repro.coords.neldermead import MinimizeResult, minimize_with_restarts, nelder_mead
+from repro.coords.space import CoordinateSpace
+
+__all__ = [
+    "CoordinateSpace",
+    "EmbeddingReport",
+    "MinimizeResult",
+    "build_coordinate_space",
+    "choose_landmarks",
+    "classical_mds",
+    "embed_landmarks",
+    "embedding_accuracy",
+    "locate_host",
+    "minimize_with_restarts",
+    "nelder_mead",
+]

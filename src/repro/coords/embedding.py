@@ -1,0 +1,294 @@
+"""Landmark-based network-coordinate embedding (GNP-style).
+
+Implements the paper's distance-map construction (Section 3.1, after Ng &
+Zhang [22]):
+
+1. a small set of m landmark routers measure their pairwise delays (taking
+   the minimum of several probes to filter noise);
+2. the landmark delay matrix is mapped into a k-dimensional space with
+   minimum error — we seed with classical MDS (Torgerson double-centering)
+   and refine with from-scratch Nelder-Mead on the relative-error objective;
+3. every overlay proxy measures its delay to the landmarks and solves a
+   small k-variable minimization for its own coordinates.
+
+Total cost is O(m^2 + n*m) measurements with O(k*n) state, versus O(n^2)
+for a direct distance map — the paper's headline scalability argument for
+the distance-obtainment step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coords.neldermead import minimize_with_restarts, nelder_mead
+from repro.coords.space import CoordinateSpace
+from repro.netsim.physical import PhysicalNetwork
+from repro.util.errors import EmbeddingError
+from repro.util.rng import RngLike, ensure_rng
+
+
+def classical_mds(distances: np.ndarray, dim: int) -> np.ndarray:
+    """Torgerson classical MDS: embed a distance matrix into ``dim`` dims.
+
+    Used as the initial guess for the Nelder-Mead refinement. Negative
+    eigenvalues (non-Euclidean measurement noise) are clamped to zero.
+    """
+    d = np.asarray(distances, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise EmbeddingError(f"distance matrix must be square, got {d.shape}")
+    n = d.shape[0]
+    if dim < 1 or dim > n:
+        raise EmbeddingError(f"dim must be in [1, {n}], got {dim}")
+    j = np.eye(n) - np.ones((n, n)) / n
+    b = -0.5 * j @ (d**2) @ j
+    eigenvalues, eigenvectors = np.linalg.eigh(b)
+    order = np.argsort(eigenvalues)[::-1][:dim]
+    lams = np.clip(eigenvalues[order], 0.0, None)
+    return eigenvectors[:, order] * np.sqrt(lams)
+
+
+def _relative_error(estimated: np.ndarray, measured: np.ndarray) -> float:
+    """Sum of squared relative errors over the upper triangle."""
+    iu = np.triu_indices_from(measured, k=1)
+    meas = measured[iu]
+    est = estimated[iu]
+    safe = np.where(meas > 0, meas, 1.0)
+    return float(np.sum(((est - meas) / safe) ** 2))
+
+
+def embed_landmarks(
+    measured: np.ndarray,
+    dim: int,
+    *,
+    max_iterations: int = 3000,
+    seed: RngLike = None,
+) -> np.ndarray:
+    """Embed the landmark delay matrix into ``dim`` dimensions.
+
+    Returns an ``(m, dim)`` coordinate array minimizing the sum of squared
+    relative errors between geometric and measured distances.
+    """
+    measured = np.asarray(measured, dtype=float)
+    m = measured.shape[0]
+    if m < dim + 1:
+        raise EmbeddingError(
+            f"need at least dim+1={dim + 1} landmarks for a {dim}-D embedding, got {m}"
+        )
+    rng = ensure_rng(seed)
+    initial = classical_mds(measured, dim)
+
+    def objective(flat: np.ndarray) -> float:
+        pts = flat.reshape(m, dim)
+        diff = pts[:, None, :] - pts[None, :, :]
+        est = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        return _relative_error(est, measured)
+
+    scale = float(np.max(measured)) or 1.0
+    jitter = initial + rng.gauss(0.0, 1.0) * 0.0  # deterministic base start
+    starts = [initial.ravel(), (jitter + scale * 0.05 * _gauss_array(rng, (m, dim))).ravel()]
+    result = minimize_with_restarts(
+        objective,
+        starts,
+        initial_step=scale * 0.05,
+        max_iterations=max_iterations,
+        xtol=scale * 1e-6,
+    )
+    return result.x.reshape(m, dim)
+
+
+def _gauss_array(rng, shape: Tuple[int, int]) -> np.ndarray:
+    return np.array(
+        [[rng.gauss(0.0, 1.0) for _ in range(shape[1])] for _ in range(shape[0])]
+    )
+
+
+def locate_host(
+    landmark_coords: np.ndarray,
+    measured_to_landmarks: Sequence[float],
+    *,
+    max_iterations: int = 800,
+) -> np.ndarray:
+    """Derive a host's coordinates from its measured landmark delays.
+
+    Minimizes the sum of squared relative errors between the host-to-landmark
+    geometric distances and the measured delays (the per-host step of GNP).
+    """
+    landmarks = np.asarray(landmark_coords, dtype=float)
+    measured = np.asarray(measured_to_landmarks, dtype=float)
+    if landmarks.shape[0] != measured.shape[0]:
+        raise EmbeddingError(
+            f"{landmarks.shape[0]} landmark coordinates but "
+            f"{measured.shape[0]} measurements"
+        )
+
+    def objective(point: np.ndarray) -> float:
+        est = np.sqrt(np.sum((landmarks - point) ** 2, axis=1))
+        safe = np.where(measured > 0, measured, 1.0)
+        return float(np.sum(((est - measured) / safe) ** 2))
+
+    # Start from the measurement-weighted centroid: closer landmarks pull
+    # harder. A second start at the nearest landmark guards against the
+    # centroid landing in a bad basin.
+    weights = 1.0 / np.maximum(measured, 1e-9)
+    centroid = (landmarks * weights[:, None]).sum(axis=0) / weights.sum()
+    nearest = landmarks[int(np.argmin(measured))]
+    scale = float(np.max(measured)) or 1.0
+    result = minimize_with_restarts(
+        objective,
+        [centroid, nearest],
+        initial_step=scale * 0.1,
+        max_iterations=max_iterations,
+        xtol=scale * 1e-7,
+    )
+    return result.x
+
+
+@dataclass
+class EmbeddingReport:
+    """Diagnostics of a completed embedding.
+
+    Attributes:
+        landmark_ids: physical router ids used as landmarks.
+        landmark_coordinates: the embedded landmark positions, ``(m, k)`` —
+            kept so late-joining proxies can derive their own coordinates.
+        dimension: k of the coordinate space.
+        measurement_count: probes issued (paper: O(m^2 + n*m)).
+        landmark_fit_error: final relative-error objective on the landmarks.
+    """
+
+    landmark_ids: List[int]
+    landmark_coordinates: np.ndarray
+    dimension: int
+    measurement_count: int
+    landmark_fit_error: float
+
+
+def choose_landmarks(
+    physical: PhysicalNetwork, count: int, seed: RngLike = None
+) -> List[int]:
+    """Pick *count* well-separated landmark routers.
+
+    Greedy k-center on true delays, seeded with a random router: landmarks
+    spread across the network give better-conditioned embeddings than a
+    random draw, and the paper leaves placement open ("set up a small group
+    of m landmarks").
+    """
+    rng = ensure_rng(seed)
+    nodes = physical.graph.nodes()
+    if count > len(nodes):
+        raise EmbeddingError(f"cannot pick {count} landmarks from {len(nodes)} routers")
+    first = rng.choice(nodes)
+    landmarks = [first]
+    min_dist = dict(physical.delays_from(first))
+    while len(landmarks) < count:
+        nxt = max(nodes, key=lambda n: min_dist.get(n, 0.0))
+        landmarks.append(nxt)
+        for node, d in physical.delays_from(nxt).items():
+            if d < min_dist.get(node, float("inf")):
+                min_dist[node] = d
+    return landmarks
+
+
+def build_coordinate_space(
+    physical: PhysicalNetwork,
+    hosts: Sequence[int],
+    *,
+    landmarks: Optional[Sequence[int]] = None,
+    landmark_count: int = 10,
+    dimension: int = 2,
+    probes: int = 3,
+    seed: RngLike = None,
+) -> Tuple[CoordinateSpace, EmbeddingReport]:
+    """End-to-end distance-map construction for *hosts* (paper Section 3.1).
+
+    Args:
+        physical: delay oracle (provides noisy measurements).
+        hosts: overlay proxies to embed.
+        landmarks: explicit landmark router ids; chosen automatically if None.
+        landmark_count: number of landmarks when auto-choosing (paper uses 10).
+        dimension: coordinate-space dimension k (paper uses 2).
+        probes: measurements per pair; the minimum is kept.
+        seed: RNG seed for landmark choice and refinement starts.
+
+    Returns the coordinate space over *hosts* plus an :class:`EmbeddingReport`.
+    """
+    rng = ensure_rng(seed)
+    if landmarks is None:
+        landmarks = choose_landmarks(physical, landmark_count, rng)
+    landmarks = list(landmarks)
+    m = len(landmarks)
+    measurement_count = 0
+
+    measured = np.zeros((m, m), dtype=float)
+    for i in range(m):
+        for j in range(i + 1, m):
+            value = physical.measure(landmarks[i], landmarks[j], probes=probes)
+            measurement_count += probes
+            measured[i, j] = measured[j, i] = value
+
+    landmark_coords = embed_landmarks(measured, dimension, seed=rng)
+
+    diff = landmark_coords[:, None, :] - landmark_coords[None, :, :]
+    est = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    fit_error = _relative_error(est, measured)
+
+    coords: Dict[int, Sequence[float]] = {}
+    landmark_index = {router: i for i, router in enumerate(landmarks)}
+    for host in hosts:
+        if host in landmark_index:
+            coords[host] = landmark_coords[landmark_index[host]]
+            continue
+        to_landmarks = [
+            physical.measure(host, lm, probes=probes) for lm in landmarks
+        ]
+        measurement_count += probes * m
+        coords[host] = locate_host(landmark_coords, to_landmarks)
+
+    report = EmbeddingReport(
+        landmark_ids=landmarks,
+        landmark_coordinates=landmark_coords,
+        dimension=dimension,
+        measurement_count=measurement_count,
+        landmark_fit_error=fit_error,
+    )
+    return CoordinateSpace(coords), report
+
+
+def embedding_accuracy(
+    space: CoordinateSpace,
+    physical: PhysicalNetwork,
+    nodes: Sequence[int],
+    *,
+    sample_pairs: int = 500,
+    seed: RngLike = None,
+) -> Dict[str, float]:
+    """Relative-error statistics of *space* against true delays.
+
+    Samples up to *sample_pairs* node pairs and reports mean/median/p90 of
+    ``|geometric - true| / true``. Used by the dimension ablation (A1).
+    """
+    rng = ensure_rng(seed)
+    nodes = list(nodes)
+    if len(nodes) < 2:
+        raise EmbeddingError("need at least two nodes to assess accuracy")
+    errors = []
+    for _ in range(sample_pairs):
+        u, v = rng.sample(nodes, 2)
+        true = physical.delay(u, v)
+        if true <= 0:
+            continue
+        est = space.distance(u, v)
+        errors.append(abs(est - true) / true)
+    if not errors:
+        raise EmbeddingError("no valid pairs sampled")
+    arr = np.array(errors)
+    return {
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p90": float(np.percentile(arr, 90)),
+        "max": float(arr.max()),
+        "pairs": float(arr.size),
+    }

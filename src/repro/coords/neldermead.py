@@ -1,0 +1,140 @@
+"""Nelder-Mead simplex minimization, from scratch.
+
+The paper (Section 3.1) maps measured Internet distances into a geometric
+space "through some function minimization method [23]" — Nelder & Mead's 1965
+downhill simplex. This module implements the standard algorithm with the
+usual coefficients (reflection 1, expansion 2, contraction 1/2, shrink 1/2)
+and adaptive termination on both simplex spread and function-value spread.
+
+It is validated against ``scipy.optimize.minimize(method="Nelder-Mead")`` in
+the test suite but has no runtime dependency beyond numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of a Nelder-Mead run.
+
+    Attributes:
+        x: best point found.
+        fun: objective value at ``x``.
+        iterations: simplex iterations performed.
+        converged: True if tolerances were met before the iteration cap.
+    """
+
+    x: np.ndarray
+    fun: float
+    iterations: int
+    converged: bool
+
+
+def nelder_mead(
+    objective: Objective,
+    x0: Sequence[float],
+    *,
+    initial_step: float = 1.0,
+    xtol: float = 1e-6,
+    ftol: float = 1e-9,
+    max_iterations: int = 2000,
+) -> MinimizeResult:
+    """Minimize *objective* starting from *x0*.
+
+    Args:
+        objective: function of an ``(n,)`` numpy vector returning a float.
+        x0: starting point, length n >= 1.
+        initial_step: size of the initial simplex's per-axis offsets.
+        xtol: terminate when the simplex's max vertex distance to the best
+            vertex drops below this.
+        ftol: terminate when the spread of function values across the simplex
+            drops below this.
+        max_iterations: hard iteration cap.
+    """
+    x0 = np.asarray(x0, dtype=float)
+    if x0.ndim != 1 or x0.size == 0:
+        raise ValueError(f"x0 must be a non-empty 1-D vector, got shape {x0.shape}")
+    n = x0.size
+
+    # Initial simplex: x0 plus one offset vertex per axis.
+    simplex = np.tile(x0, (n + 1, 1))
+    for i in range(n):
+        step = initial_step if x0[i] == 0 else initial_step * max(abs(x0[i]), 1.0) * 0.1
+        simplex[i + 1, i] += step if step != 0 else initial_step
+    values = np.array([objective(v) for v in simplex])
+
+    alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+    iterations = 0
+    converged = False
+    while iterations < max_iterations:
+        order = np.argsort(values, kind="stable")
+        simplex, values = simplex[order], values[order]
+
+        x_spread = np.max(np.abs(simplex[1:] - simplex[0]))
+        f_spread = abs(values[-1] - values[0])
+        if x_spread <= xtol and f_spread <= ftol:
+            converged = True
+            break
+
+        centroid = simplex[:-1].mean(axis=0)
+        worst = simplex[-1]
+
+        reflected = centroid + alpha * (centroid - worst)
+        f_reflected = objective(reflected)
+        if values[0] <= f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+        elif f_reflected < values[0]:
+            expanded = centroid + gamma * (reflected - centroid)
+            f_expanded = objective(expanded)
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+        else:
+            contracted = centroid + rho * (worst - centroid)
+            f_contracted = objective(contracted)
+            if f_contracted < values[-1]:
+                simplex[-1], values[-1] = contracted, f_contracted
+            else:
+                best = simplex[0]
+                for i in range(1, n + 1):
+                    simplex[i] = best + sigma * (simplex[i] - best)
+                    values[i] = objective(simplex[i])
+        iterations += 1
+
+    order = np.argsort(values, kind="stable")
+    simplex, values = simplex[order], values[order]
+    return MinimizeResult(
+        x=simplex[0].copy(),
+        fun=float(values[0]),
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def minimize_with_restarts(
+    objective: Objective,
+    starts: Sequence[Sequence[float]],
+    **kwargs,
+) -> MinimizeResult:
+    """Run :func:`nelder_mead` from each start and keep the best result.
+
+    Simplex descent is local; the embedding objective is non-convex, so the
+    library offers multi-start as the cheap robustness knob.
+    """
+    if len(starts) == 0:
+        raise ValueError("starts must not be empty")
+    best: Optional[MinimizeResult] = None
+    for start in starts:
+        result = nelder_mead(objective, start, **kwargs)
+        if best is None or result.fun < best.fun:
+            best = result
+    assert best is not None
+    return best

@@ -1,0 +1,115 @@
+"""Coordinate spaces and distance maps.
+
+A :class:`CoordinateSpace` assigns each overlay node a point in a
+k-dimensional geometric space; geometric distance approximates network
+delay (Ng & Zhang's coordinates-based approach, paper Section 3.1). The
+clustering, border-selection and routing layers all consume distances
+through this object.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import EmbeddingError
+
+NodeId = Hashable
+
+
+class CoordinateSpace:
+    """Immutable mapping of node ids to k-dimensional coordinates."""
+
+    def __init__(self, coordinates: Dict[NodeId, Sequence[float]]) -> None:
+        if not coordinates:
+            raise EmbeddingError("coordinate space must contain at least one node")
+        dims = {len(c) for c in coordinates.values()}
+        if len(dims) != 1:
+            raise EmbeddingError(f"inconsistent coordinate dimensions: {sorted(dims)}")
+        self._dim = dims.pop()
+        if self._dim == 0:
+            raise EmbeddingError("coordinate dimension must be >= 1")
+        self._coords: Dict[NodeId, Tuple[float, ...]] = {
+            node: tuple(float(x) for x in coord) for node, coord in coordinates.items()
+        }
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality k of the space."""
+        return self._dim
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._coords
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    def nodes(self) -> List[NodeId]:
+        """All node ids, in insertion order."""
+        return list(self._coords)
+
+    def coordinate(self, node: NodeId) -> Tuple[float, ...]:
+        """The coordinates of *node*."""
+        try:
+            return self._coords[node]
+        except KeyError:
+            raise EmbeddingError(f"node {node!r} has no coordinates") from None
+
+    def distance(self, u: NodeId, v: NodeId) -> float:
+        """Euclidean distance between *u* and *v* in the space."""
+        return math.dist(self.coordinate(u), self.coordinate(v))
+
+    def array(self, nodes: Sequence[NodeId]) -> np.ndarray:
+        """Coordinates of *nodes* stacked into an ``(n, k)`` array."""
+        return np.array([self.coordinate(n) for n in nodes], dtype=float)
+
+    def distance_matrix(self, nodes: Sequence[NodeId]) -> np.ndarray:
+        """Pairwise Euclidean distance matrix among *nodes*."""
+        pts = self.array(nodes)
+        diff = pts[:, None, :] - pts[None, :, :]
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+    def restrict(self, nodes: Iterable[NodeId]) -> "CoordinateSpace":
+        """A new space containing only *nodes* (must all be present)."""
+        return CoordinateSpace({n: self.coordinate(n) for n in nodes})
+
+    def merged_with(self, other: Dict[NodeId, Sequence[float]]) -> "CoordinateSpace":
+        """A new space with *other*'s nodes added (same dimension required)."""
+        coords: Dict[NodeId, Sequence[float]] = dict(self._coords)
+        coords.update(other)
+        return CoordinateSpace(coords)
+
+    def nearest(self, node: NodeId, candidates: Iterable[NodeId]) -> NodeId:
+        """The candidate geometrically closest to *node* (excluding itself)."""
+        best = None
+        best_d = float("inf")
+        for c in candidates:
+            if c == node:
+                continue
+            d = self.distance(node, c)
+            if d < best_d:
+                best, best_d = c, d
+        if best is None:
+            raise EmbeddingError("no candidate other than the node itself")
+        return best
+
+    def closest_pair(
+        self, group_a: Sequence[NodeId], group_b: Sequence[NodeId]
+    ) -> Tuple[NodeId, NodeId, float]:
+        """The closest pair ``(a, b, distance)`` with a in *group_a*, b in *group_b*.
+
+        This is exactly the paper's border-proxy selection rule (Section 3.3).
+        Vectorised; ties break toward the earliest indices, so the result is
+        deterministic for deterministic inputs.
+        """
+        if not group_a or not group_b:
+            raise EmbeddingError("closest_pair requires two non-empty groups")
+        pts_a = self.array(group_a)
+        pts_b = self.array(group_b)
+        diff = pts_a[:, None, :] - pts_b[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        flat = int(np.argmin(dist))
+        i, j = divmod(flat, dist.shape[1])
+        return group_a[i], group_b[j], float(dist[i, j])

@@ -1,0 +1,6 @@
+"""Public API: the HFC framework facade and its configuration."""
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HFCFramework
+
+__all__ = ["FrameworkConfig", "HFCFramework"]

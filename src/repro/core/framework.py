@@ -1,0 +1,224 @@
+"""The public facade: build an HFC service-overlay and route requests.
+
+:class:`HFCFramework` wires the whole pipeline of the paper together:
+
+1. generate (or accept) a physical transit-stub network;
+2. place proxies on stub routers and install services (Table 1 style);
+3. obtain the distance map via landmark embedding (Section 3.1);
+4. cluster by Zahn's MST method (Section 3.2) and select border proxies
+   (Section 3.3) — yielding the HFC topology;
+5. expose the routing strategies of Section 5 / Section 6.2 plus the state
+   protocol of Section 4.
+
+Typical use::
+
+    framework = HFCFramework.build(proxy_count=250, seed=7)
+    router = framework.hierarchical_router()
+    request = framework.random_request(seed=1)
+    path = router.route(request)
+    print(path, path.true_delay(framework.overlay))
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.mstcluster import Clustering, cluster_nodes
+from repro.coords.embedding import EmbeddingReport, build_coordinate_space
+from repro.coords.space import CoordinateSpace
+from repro.core.config import FrameworkConfig
+from repro.graph.graph import Graph
+from repro.netsim.physical import PhysicalNetwork
+from repro.netsim.topology import transit_stub
+from repro.overlay.hfc import HFCTopology, build_hfc
+from repro.overlay.mesh import build_mesh
+from repro.overlay.network import OverlayNetwork, ProxyId
+from repro.routing.flat import FlatRouter, coordinate_router, oracle_router
+from repro.routing.hierarchical import HierarchicalRouter
+from repro.routing.meshrouting import MeshRouter, hfc_full_state_router
+from repro.services.catalog import ServiceCatalog, scaled_catalog
+from repro.services.graph import linear_graph
+from repro.services.placement import install_services
+from repro.services.request import ServiceRequest
+from repro.state.overhead import (
+    mean_coordinates_overhead,
+    mean_service_overhead,
+)
+from repro.state.protocol import ProtocolReport, StateDistributionProtocol
+from repro.util.errors import ReproError
+from repro.util.rng import RngLike, ensure_rng, spawn
+
+
+@dataclass
+class HFCFramework:
+    """A fully built HFC service-overlay system."""
+
+    config: FrameworkConfig
+    physical: PhysicalNetwork
+    overlay: OverlayNetwork
+    catalog: ServiceCatalog
+    space: CoordinateSpace
+    embedding_report: EmbeddingReport
+    clustering: Clustering
+    hfc: HFCTopology
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        proxy_count: int,
+        *,
+        config: Optional[FrameworkConfig] = None,
+        physical: Optional[PhysicalNetwork] = None,
+        catalog: Optional[ServiceCatalog] = None,
+        seed: RngLike = None,
+    ) -> "HFCFramework":
+        """Build the full pipeline for *proxy_count* proxies.
+
+        Args:
+            proxy_count: overlay size n.
+            config: framework tunables (defaults reproduce the paper).
+            physical: pre-built physical network; generated when None.
+            catalog: service catalog; a scale-invariant generic catalog is
+                generated when None.
+            seed: master seed; every stage derives an independent stream.
+        """
+        if proxy_count < 2:
+            raise ReproError("proxy_count must be >= 2")
+        config = config or FrameworkConfig()
+        rng = ensure_rng(seed)
+
+        if physical is None:
+            topo = transit_stub(
+                config.physical_size_for(proxy_count),
+                config=config.transit_stub,
+                seed=spawn(rng, "topology"),
+            )
+            physical = PhysicalNetwork(
+                topo, noise=config.measurement_noise, seed=spawn(rng, "noise")
+            )
+        proxies = physical.pick_overlay_nodes(proxy_count, seed=spawn(rng, "proxies"))
+
+        space, report = build_coordinate_space(
+            physical,
+            proxies,
+            landmark_count=config.landmark_count,
+            dimension=config.dimension,
+            probes=config.probes,
+            seed=spawn(rng, "embedding"),
+        )
+
+        if catalog is None:
+            mean_services = (
+                config.min_services_per_proxy + config.max_services_per_proxy
+            ) / 2.0
+            catalog = scaled_catalog(
+                proxy_count,
+                services_per_proxy_mean=mean_services,
+                instances_per_service=config.instances_per_service,
+            )
+        placement = install_services(
+            proxies,
+            catalog,
+            min_per_proxy=config.min_services_per_proxy,
+            max_per_proxy=min(config.max_services_per_proxy, len(catalog)),
+            seed=spawn(rng, "placement"),
+        )
+        overlay = OverlayNetwork(
+            physical=physical, proxies=proxies, placement=placement, space=space
+        )
+        clustering = cluster_nodes(space, proxies, config.clustering)
+        hfc = build_hfc(overlay, clustering)
+        return cls(
+            config=config,
+            physical=physical,
+            overlay=overlay,
+            catalog=catalog,
+            space=space,
+            embedding_report=report,
+            clustering=clustering,
+            hfc=hfc,
+        )
+
+    # -- routers -------------------------------------------------------------------
+
+    def hierarchical_router(self, method: str = "backtrack") -> HierarchicalRouter:
+        """The paper's divide-and-conquer router (HFC with aggregation)."""
+        return HierarchicalRouter(self.hfc, method=method)
+
+    def mesh_router(self, *, seed: RngLike = None, mesh: Optional[Graph] = None) -> MeshRouter:
+        """The single-level mesh baseline router."""
+        if mesh is None:
+            mesh = build_mesh(
+                self.overlay, weight=self.config.mesh_weight, seed=seed
+            )
+        return MeshRouter(self.overlay, mesh)
+
+    def full_state_router(self) -> FlatRouter:
+        """HFC topology without aggregation (full state at every proxy)."""
+        return hfc_full_state_router(self.hfc)
+
+    def flat_router(self) -> FlatRouter:
+        """Flat fully-connected routing over coordinates (upper reference)."""
+        return coordinate_router(self.overlay)
+
+    def oracle_router(self) -> FlatRouter:
+        """Flat routing over ground-truth delays (the unbeatable bound)."""
+        return oracle_router(self.overlay)
+
+    # -- requests -----------------------------------------------------------------
+
+    def random_request(
+        self,
+        *,
+        min_length: int = 4,
+        max_length: int = 10,
+        seed: RngLike = None,
+    ) -> ServiceRequest:
+        """A Table-1-style random linear request between two random proxies."""
+        rng = ensure_rng(seed)
+        src, dst = rng.sample(self.overlay.proxies, 2)
+        length = rng.randint(min_length, max_length)
+        names = [rng.choice(list(self.catalog.names)) for _ in range(length)]
+        return ServiceRequest(src, linear_graph(names), dst)
+
+    # -- state & overheads ---------------------------------------------------------
+
+    def run_state_protocol(
+        self, max_time: float = 20000.0, seed: RngLike = None
+    ) -> ProtocolReport:
+        """Simulate the Section-4 protocol to convergence; returns its report."""
+        protocol = StateDistributionProtocol(self.hfc, seed=seed)
+        return protocol.run(max_time=max_time)
+
+    def coordinates_overhead(self) -> Dict[str, float]:
+        """Fig. 9(a) point: flat vs hierarchical coordinate node-states."""
+        return {
+            "flat": float(self.overlay.size),
+            "hierarchical": mean_coordinates_overhead(self.hfc),
+        }
+
+    def service_overhead(self) -> Dict[str, float]:
+        """Fig. 9(b) point: flat vs hierarchical service node-states."""
+        return {
+            "flat": float(self.overlay.size),
+            "hierarchical": mean_service_overhead(self.hfc),
+        }
+
+    # -- summary --------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A short human-readable summary of the built system."""
+        sizes = self.clustering.sizes()
+        return (
+            f"HFCFramework(n={self.overlay.size} proxies on "
+            f"{self.physical.graph.node_count} routers, "
+            f"{self.clustering.cluster_count} clusters "
+            f"(sizes {min(sizes)}..{max(sizes)}), "
+            f"{len(self.hfc.all_border_nodes())} border proxies, "
+            f"catalog of {len(self.catalog)} services, "
+            f"k={self.space.dimension} coordinates)"
+        )

@@ -1,0 +1,17 @@
+"""Data-plane simulation: streaming sessions, failure injection, recovery."""
+
+from repro.dataplane.recovery import make_rerouter
+from repro.dataplane.session import (
+    PacketRecord,
+    SessionReport,
+    StreamingSession,
+    path_nominal_latency,
+)
+
+__all__ = [
+    "PacketRecord",
+    "SessionReport",
+    "StreamingSession",
+    "make_rerouter",
+    "path_nominal_latency",
+]

@@ -1,0 +1,41 @@
+"""Failure recovery: re-routing around failed proxies.
+
+Composes the dynamic-membership machinery with the hierarchical router: a
+failed proxy is treated as having left the overlay (its cluster shrinks,
+border pairs it served are re-selected), and the request is re-resolved on
+the rebuilt HFC topology. This is exactly the repair story the paper's
+Section 7 restructuring mechanism enables.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.core.framework import HFCFramework
+from repro.membership.churn import DynamicOverlay
+from repro.overlay.network import ProxyId
+from repro.routing.hierarchical import HierarchicalRouter
+from repro.routing.path import ServicePath
+from repro.services.request import ServiceRequest
+from repro.util.errors import RoutingError
+
+
+def make_rerouter(framework: HFCFramework, request: ServiceRequest):
+    """A :data:`~repro.dataplane.session.Rerouter` for *request*.
+
+    Returns a callable that, given the failed proxy set, removes those
+    proxies from a dynamic view of the overlay and re-routes the request
+    hierarchically on the rebuilt topology.
+    """
+
+    def reroute(failed: FrozenSet[ProxyId]) -> ServicePath:
+        if request.source_proxy in failed or request.destination_proxy in failed:
+            raise RoutingError("a request endpoint failed; session cannot recover")
+        dyn = DynamicOverlay(framework, restructure_tolerance=None)
+        for proxy in failed:
+            if proxy in dyn.clustering.labels:
+                dyn.leave(proxy)
+        router = HierarchicalRouter(dyn.hfc)
+        return router.route(request)
+
+    return reroute

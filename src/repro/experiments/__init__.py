@@ -1,0 +1,50 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from repro.experiments.environments import (
+    TABLE1,
+    Environment,
+    EnvironmentSpec,
+    build_environment,
+    scale_factor,
+    scaled_table1,
+)
+from repro.experiments.overhead import (
+    OverheadPoint,
+    OverheadResult,
+    run_overhead_experiment,
+)
+from repro.experiments.path_efficiency import (
+    ALL_STRATEGIES,
+    DEFAULT_STRATEGIES,
+    EfficiencyPoint,
+    EfficiencyResult,
+    run_path_efficiency,
+)
+from repro.experiments.report import ascii_table, series_block
+from repro.experiments.workload import (
+    WorkloadConfig,
+    generate_requests,
+    random_service_graph,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "DEFAULT_STRATEGIES",
+    "Environment",
+    "EnvironmentSpec",
+    "EfficiencyPoint",
+    "EfficiencyResult",
+    "OverheadPoint",
+    "OverheadResult",
+    "TABLE1",
+    "WorkloadConfig",
+    "ascii_table",
+    "build_environment",
+    "generate_requests",
+    "random_service_graph",
+    "run_overhead_experiment",
+    "run_path_efficiency",
+    "scale_factor",
+    "scaled_table1",
+    "series_block",
+]

@@ -1,0 +1,138 @@
+"""Simulation environments (paper Table 1).
+
+Table 1 of the paper:
+
+    physical | landmarks | proxies | clients | services/proxy | req. length
+       300   |    10     |   250   |   40    |      4-10      |    4-10
+       600   |    10     |   500   |   90    |      4-10      |    4-10
+       900   |    10     |   750   |   140   |      4-10      |    4-10
+      1200   |    10     |  1000   |   120   |      4-10      |    4-10
+
+Full-paper sizes are expensive in pure Python, so every harness honours the
+``REPRO_SCALE`` environment variable: ``full`` reproduces Table 1 exactly,
+``small`` (the default) shrinks all sizes by 5x while keeping the 1:2:3:4
+progression (and the answer's shape), and a float value scales arbitrarily.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import FrameworkConfig
+from repro.core.framework import HFCFramework
+from repro.overlay.network import ProxyId
+from repro.util.errors import ReproError
+from repro.util.rng import RngLike, ensure_rng, spawn
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """One row of Table 1."""
+
+    physical_nodes: int
+    landmarks: int
+    proxies: int
+    clients: int
+    min_services: int = 4
+    max_services: int = 10
+    min_request_length: int = 4
+    max_request_length: int = 10
+
+
+#: the paper's Table 1, verbatim
+TABLE1: List[EnvironmentSpec] = [
+    EnvironmentSpec(physical_nodes=300, landmarks=10, proxies=250, clients=40),
+    EnvironmentSpec(physical_nodes=600, landmarks=10, proxies=500, clients=90),
+    EnvironmentSpec(physical_nodes=900, landmarks=10, proxies=750, clients=140),
+    EnvironmentSpec(physical_nodes=1200, landmarks=10, proxies=1000, clients=120),
+]
+
+
+def scale_factor() -> float:
+    """The active scale from ``REPRO_SCALE`` (1.0 = full paper sizes)."""
+    raw = os.environ.get("REPRO_SCALE", "small").strip().lower()
+    if raw in ("full", "1", "1.0"):
+        return 1.0
+    if raw == "small":
+        return 0.2
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ReproError(f"REPRO_SCALE={raw!r} is neither 'full', 'small' nor a float")
+    if not 0 < value <= 1:
+        raise ReproError(f"REPRO_SCALE must be in (0, 1], got {value}")
+    return value
+
+
+def scaled_table1(factor: Optional[float] = None) -> List[EnvironmentSpec]:
+    """Table 1 scaled by *factor* (default: the ``REPRO_SCALE`` setting).
+
+    Proxy/physical/client counts shrink proportionally (with sane floors);
+    landmark count and the per-proxy/request ranges are resolution-free and
+    stay at the paper's values.
+    """
+    factor = scale_factor() if factor is None else factor
+    specs = []
+    for spec in TABLE1:
+        specs.append(
+            replace(
+                spec,
+                physical_nodes=max(150, int(round(spec.physical_nodes * factor))),
+                proxies=max(40, int(round(spec.proxies * factor))),
+                clients=max(10, int(round(spec.clients * factor))),
+            )
+        )
+    return specs
+
+
+@dataclass
+class Environment:
+    """A built simulation environment: framework + clients."""
+
+    spec: EnvironmentSpec
+    framework: HFCFramework
+    #: physical routers where clients attach
+    clients: List[int]
+    #: each client's access proxy (its nearest overlay proxy)
+    client_proxies: List[ProxyId] = field(default_factory=list)
+
+
+def build_environment(
+    spec: EnvironmentSpec,
+    *,
+    config: Optional[FrameworkConfig] = None,
+    seed: RngLike = None,
+) -> Environment:
+    """Build the full environment for one Table 1 row.
+
+    Clients attach to uniformly random stub routers; each client's access
+    proxy is its closest proxy by true delay (the proxy whose output would
+    feed the client's input, per Section 5.1).
+    """
+    rng = ensure_rng(seed)
+    if config is None:
+        config = FrameworkConfig()
+    config = replace(
+        config,
+        physical_nodes=spec.physical_nodes,
+        landmark_count=spec.landmarks,
+        min_services_per_proxy=spec.min_services,
+        max_services_per_proxy=spec.max_services,
+    )
+    framework = HFCFramework.build(
+        proxy_count=spec.proxies, config=config, seed=spawn(rng, "framework")
+    )
+    client_rng = spawn(rng, "clients")
+    stubs = framework.physical.topology.stub_nodes
+    clients = [client_rng.choice(stubs) for _ in range(spec.clients)]
+    client_proxies = [
+        framework.physical.nearest(c, framework.overlay.proxies) for c in clients
+    ]
+    return Environment(
+        spec=spec,
+        framework=framework,
+        clients=clients,
+        client_proxies=client_proxies,
+    )

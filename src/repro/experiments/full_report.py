@@ -1,0 +1,134 @@
+"""One-command regeneration of the whole evaluation.
+
+``generate_full_report`` runs every paper experiment (Table 1, Fig 9(a/b),
+Fig 10) plus the ablations and extension studies at the requested scale and
+returns one markdown document — the machine-written counterpart of
+EXPERIMENTS.md. Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments.ablations import (
+    render_aggregation_ablation,
+    render_border_ablation,
+    render_dimension_ablation,
+    render_inconsistency_ablation,
+    render_landmark_ablation,
+    render_mesh_family_ablation,
+    render_mesh_information_ablation,
+    render_method_ablation,
+    run_aggregation_ablation,
+    run_border_ablation,
+    run_dimension_ablation,
+    run_inconsistency_ablation,
+    run_landmark_ablation,
+    run_mesh_family_ablation,
+    run_mesh_information_ablation,
+    run_method_ablation,
+)
+from repro.experiments.environments import EnvironmentSpec, scaled_table1
+from repro.experiments.overhead import run_overhead_experiment
+from repro.experiments.path_efficiency import run_path_efficiency
+from repro.experiments.report import ascii_table
+from repro.util.rng import RngLike, ensure_rng, spawn
+
+
+def generate_full_report(
+    *,
+    scale: Optional[float] = None,
+    topologies: int = 2,
+    requests: int = 100,
+    include_ablations: bool = True,
+    seed: RngLike = 0,
+) -> str:
+    """Run the complete evaluation and return it as one markdown document.
+
+    Args:
+        scale: fraction of the paper's Table 1 sizes (None = REPRO_SCALE).
+        topologies: physical topologies per size for Fig 9 / Fig 10.
+        requests: client requests per topology (Fig 10) and per ablation.
+        include_ablations: also run A1-A8 (slower).
+        seed: master seed.
+    """
+    rng = ensure_rng(seed)
+    specs: List[EnvironmentSpec] = scaled_table1(scale)
+    sections: List[str] = ["# Evaluation report (generated)", ""]
+
+    sections.append("## Table 1 — environments")
+    sections.append(
+        ascii_table(
+            ["physical", "landmarks", "proxies", "clients",
+             "services/proxy", "req. length"],
+            [
+                [s.physical_nodes, s.landmarks, s.proxies, s.clients,
+                 f"{s.min_services}-{s.max_services}",
+                 f"{s.min_request_length}-{s.max_request_length}"]
+                for s in specs
+            ],
+        )
+    )
+    sections.append("")
+
+    sections.append("## Fig 9 — state-maintenance overhead")
+    overhead = run_overhead_experiment(
+        specs, topologies_per_size=topologies, seed=spawn(rng, "fig9")
+    )
+    sections.append(overhead.render())
+    sections.append("")
+
+    sections.append("## Fig 10 — service-path efficiency")
+    efficiency = run_path_efficiency(
+        specs,
+        strategies=("mesh", "hfc_agg", "hfc_full", "oracle"),
+        topologies_per_size=topologies,
+        requests_per_topology=requests,
+        seed=spawn(rng, "fig10"),
+    )
+    sections.append(efficiency.render())
+    sections.append("")
+
+    if include_ablations:
+        spec = specs[0]
+        ablation_runs = [
+            ("A1 — coordinate dimension",
+             lambda: render_dimension_ablation(
+                 run_dimension_ablation(requests=requests, spec=spec,
+                                        seed=spawn(rng, "a1")))),
+            ("A2 — inconsistency factor",
+             lambda: render_inconsistency_ablation(
+                 run_inconsistency_ablation(requests=requests, spec=spec,
+                                            seed=spawn(rng, "a2")))),
+            ("A3 — border selection",
+             lambda: render_border_ablation(
+                 run_border_ablation(requests=requests, spec=spec,
+                                     seed=spawn(rng, "a3")))),
+            ("A4 — CSP relaxation method",
+             lambda: render_method_ablation(
+                 run_method_ablation(requests=requests, spec=spec,
+                                     seed=spawn(rng, "a4")))),
+            ("A5 — mesh information quality",
+             lambda: render_mesh_information_ablation(
+                 run_mesh_information_ablation(requests=requests, spec=spec,
+                                               seed=spawn(rng, "a5")))),
+            ("A6 — cluster representation",
+             lambda: render_aggregation_ablation(
+                 run_aggregation_ablation(requests=requests, spec=spec,
+                                          seed=spawn(rng, "a6")))),
+            ("A7 — landmark placement",
+             lambda: render_landmark_ablation(
+                 run_landmark_ablation(requests=requests, spec=spec,
+                                       seed=spawn(rng, "a7")))),
+            ("A8 — overlay topology family",
+             lambda: render_mesh_family_ablation(
+                 run_mesh_family_ablation(requests=requests, spec=spec,
+                                          seed=spawn(rng, "a8")))),
+        ]
+        sections.append("## Ablations")
+        for title, runner in ablation_runs:
+            sections.append(f"### {title}")
+            sections.append(runner())
+            sections.append("")
+
+    return "\n".join(sections)

@@ -1,0 +1,61 @@
+"""JSON serialisation of experiment results.
+
+The CLI and external tooling consume experiment outputs as plain JSON;
+these converters keep the dataclasses themselves import-free of json.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.experiments.overhead import OverheadResult
+from repro.experiments.path_efficiency import EfficiencyResult
+
+
+def overhead_to_dict(result: OverheadResult) -> Dict[str, Any]:
+    """Fig 9 result as a JSON-ready dict."""
+    return {
+        "figure": "9",
+        "panels": {
+            panel: [
+                {
+                    "proxies": p.proxies,
+                    "flat": p.flat,
+                    "hierarchical": p.hierarchical,
+                    "hierarchical_std": p.hierarchical_std,
+                    "topologies": p.topologies,
+                }
+                for p in series
+            ]
+            for panel, series in (
+                ("coordinates", result.coordinates),
+                ("service", result.service),
+            )
+        },
+    }
+
+
+def efficiency_to_dict(result: EfficiencyResult) -> Dict[str, Any]:
+    """Fig 10 result as a JSON-ready dict."""
+    return {
+        "figure": "10",
+        "strategies": list(result.strategies),
+        "points": [
+            {
+                "proxies": p.proxies,
+                "mean_delay": p.mean_delay,
+                "std_delay": p.std_delay,
+                "requests": p.requests,
+                "failures": p.failures,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def dump_json(payload: Dict[str, Any], path: str) -> None:
+    """Write *payload* to *path* as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,56 @@
+"""Connected components and connectivity checks."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, List, Set
+
+from repro.graph.graph import Graph
+
+Node = Hashable
+
+
+def connected_components(graph: Graph) -> List[List[Node]]:
+    """All connected components, each as a list of nodes.
+
+    Components are returned in order of their first node's insertion, and
+    nodes within a component are in BFS order from that first node, so the
+    result is deterministic for a deterministically built graph.
+    """
+    seen: Set[Node] = set()
+    components: List[List[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True if *graph* has at most one connected component."""
+    return len(connected_components(graph)) <= 1
+
+
+def component_of(graph: Graph, node: Node) -> List[Node]:
+    """The connected component containing *node* (BFS order)."""
+    seen = {node}
+    queue = deque([node])
+    component = []
+    while queue:
+        current = queue.popleft()
+        component.append(current)
+        for neighbor in graph.neighbors(current):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+    return component

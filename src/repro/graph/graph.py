@@ -1,0 +1,149 @@
+"""A from-scratch weighted undirected graph.
+
+The physical-network substrate, the overlay topologies, and the MST-based
+clusterer all operate on this structure. It deliberately mirrors the small
+slice of the ``networkx.Graph`` API the library needs (``add_edge``,
+``neighbors``, ``has_edge``…) so tests can cross-validate against networkx,
+but it stores adjacency as plain dicts for speed and has no third-party
+dependency.
+
+Nodes may be any hashable object. Edge weights are floats (delays, in the
+simulations). Parallel edges are not supported: re-adding an edge overwrites
+its weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+from repro.util.errors import GraphError
+
+Node = Hashable
+Edge = Tuple[Node, Node, float]
+
+
+class Graph:
+    """Weighted undirected graph backed by nested adjacency dicts."""
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Dict[Node, float]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Add *node* (no-op if already present)."""
+        if node not in self._adj:
+            self._adj[node] = {}
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add every node in *nodes*."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add edge ``{u, v}`` with *weight*, creating endpoints as needed.
+
+        Self-loops are rejected: they are meaningless for delay graphs and
+        silently corrupt shortest-path bookkeeping.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} is not allowed")
+        if weight < 0:
+            raise GraphError(f"negative weight {weight!r} on edge ({u!r}, {v!r})")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove edge ``{u, v}``; raises :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+        del self._adj[u][v]
+        del self._adj[v][u]
+
+    def remove_node(self, node: Node) -> None:
+        """Remove *node* and every incident edge."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} not in graph")
+        for neighbor in list(self._adj[node]):
+            del self._adj[neighbor][node]
+        del self._adj[node]
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield each undirected edge exactly once as ``(u, v, weight)``."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if (v, u) not in seen:
+                    seen.add((u, v))
+                    yield (u, v, w)
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True if edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Weight of edge ``{u, v}``; raises :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
+        return self._adj[u][v]
+
+    def neighbors(self, node: Node) -> Dict[Node, float]:
+        """Mapping ``neighbor -> weight`` for *node* (do not mutate)."""
+        if node not in self._adj:
+            raise GraphError(f"node {node!r} not in graph")
+        return self._adj[node]
+
+    def degree(self, node: Node) -> int:
+        """Number of edges incident to *node*."""
+        return len(self.neighbors(node))
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    def copy(self) -> "Graph":
+        """Deep copy of the graph structure (nodes are shared references)."""
+        clone = Graph()
+        for node in self._adj:
+            clone.add_node(node)
+        for u, v, w in self.edges():
+            clone.add_edge(u, v, w)
+        return clone
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Induced subgraph on *nodes* (unknown nodes are ignored)."""
+        keep = {n for n in nodes if n in self._adj}
+        sub = Graph()
+        for node in keep:
+            sub.add_node(node)
+        for u, v, w in self.edges():
+            if u in keep and v in keep:
+                sub.add_edge(u, v, w)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(nodes={self.node_count}, edges={self.edge_count})"

@@ -1,0 +1,9 @@
+"""Multi-level hierarchy extension: three-level HFC topologies and routing."""
+
+from repro.hierarchy.multilevel import (
+    MultiLevelHFC,
+    ThreeLevelRouter,
+    build_multilevel,
+)
+
+__all__ = ["MultiLevelHFC", "ThreeLevelRouter", "build_multilevel"]

@@ -1,0 +1,5 @@
+"""Dynamic membership extension (paper Section 7 future work)."""
+
+from repro.membership.churn import ChurnEvent, DynamicOverlay, run_churn_session
+
+__all__ = ["ChurnEvent", "DynamicOverlay", "run_churn_session"]

@@ -1,0 +1,232 @@
+"""Dynamic membership — the paper's first future-work item (Section 7).
+
+"While we can let future proxies join clusters of their nearest neighbors,
+multiple joins and leaves may deteriorate the quality of clustering. Hence
+some kind of re-structuring mechanism needs to be devised."
+
+This module implements exactly that design:
+
+* **join**: a new proxy measures its delays to the landmarks, derives its
+  coordinates (the Section 3.1 machinery), and joins the cluster of its
+  geometrically nearest existing proxy;
+* **leave**: a proxy is removed; border pairs it served are re-selected;
+* **quality tracking**: clustering quality (separation ratio) is monitored
+  against the quality a fresh re-clustering would achieve;
+* **restructuring**: when quality degrades beyond a configurable tolerance,
+  the overlay re-clusters from scratch (the elected proxy P re-runs
+  Section 3.2/3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.cluster.mstcluster import Clustering, ClusteringConfig, cluster_nodes
+from repro.cluster.quality import separation_ratio
+from repro.coords.embedding import locate_host
+from repro.coords.space import CoordinateSpace
+from repro.core.framework import HFCFramework
+from repro.overlay.hfc import HFCTopology, build_hfc
+from repro.overlay.network import OverlayNetwork, ProxyId
+from repro.services.catalog import ServiceName
+from repro.util.errors import MembershipError
+from repro.util.rng import RngLike, ensure_rng
+
+import numpy as np
+
+
+@dataclass
+class ChurnEvent:
+    """A recorded membership change."""
+
+    kind: str  # "join" | "leave" | "restructure"
+    proxy: Optional[ProxyId]
+    cluster: Optional[int]
+    quality_after: float
+
+
+@dataclass
+class DynamicOverlay:
+    """A mutable view over an HFC overlay that supports joins and leaves.
+
+    Wraps a built :class:`HFCFramework`; every mutation produces a fresh
+    consistent (overlay, clustering, HFC) triple, reachable through
+    :attr:`overlay`, :attr:`clustering` and :attr:`hfc`. The wrapped
+    framework itself is never mutated.
+    """
+
+    framework: HFCFramework
+    #: re-cluster automatically when quality drops below
+    #: ``restructure_tolerance * fresh_quality`` (None disables)
+    restructure_tolerance: Optional[float] = 0.7
+    history: List[ChurnEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        fw = self.framework
+        self._coords: Dict[ProxyId, tuple] = {
+            p: fw.space.coordinate(p) for p in fw.overlay.proxies
+        }
+        self._placement: Dict[ProxyId, FrozenSet[ServiceName]] = dict(
+            fw.overlay.placement
+        )
+        self._labels: Dict[ProxyId, int] = dict(fw.clustering.labels)
+        self._cluster_config: ClusteringConfig = fw.config.clustering
+        self._rebuild()
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def proxies(self) -> List[ProxyId]:
+        """Current proxy population."""
+        return list(self._labels)
+
+    @property
+    def size(self) -> int:
+        """Current overlay size."""
+        return len(self._labels)
+
+    # -- mutations --------------------------------------------------------------
+
+    def join(
+        self,
+        router: int,
+        services: FrozenSet[ServiceName],
+        *,
+        probes: int = 3,
+    ) -> ProxyId:
+        """A proxy on physical *router* joins the overlay.
+
+        It derives coordinates from landmark measurements and joins the
+        cluster of its nearest existing proxy (the paper's suggested rule).
+        """
+        if router in self._labels:
+            raise MembershipError(f"proxy {router!r} is already a member")
+        fw = self.framework
+        landmarks = fw.embedding_report.landmark_ids
+        landmark_coords = np.asarray(fw.embedding_report.landmark_coordinates)
+        measured = [fw.physical.measure(router, lm, probes=probes) for lm in landmarks]
+        coords = tuple(float(x) for x in locate_host(landmark_coords, measured))
+        self._coords[router] = coords
+        self._placement[router] = frozenset(services)
+
+        temp_space = CoordinateSpace(self._coords)
+        nearest = temp_space.nearest(router, [p for p in self._labels])
+        self._labels[router] = self._labels[nearest]
+        self._rebuild()
+        self._record("join", router)
+        self._maybe_restructure()
+        return router
+
+    def leave(self, proxy: ProxyId) -> None:
+        """Proxy *proxy* leaves the overlay."""
+        if proxy not in self._labels:
+            raise MembershipError(f"proxy {proxy!r} is not a member")
+        if len(self._labels) <= 2:
+            raise MembershipError("cannot shrink the overlay below 2 proxies")
+        del self._labels[proxy]
+        del self._coords[proxy]
+        del self._placement[proxy]
+        self._rebuild()
+        self._record("leave", proxy)
+        self._maybe_restructure()
+
+    def restructure(self) -> None:
+        """Re-run clustering from scratch (the elected proxy P's re-run)."""
+        space = CoordinateSpace(self._coords)
+        clustering = cluster_nodes(space, list(self._labels), self._cluster_config)
+        self._labels = dict(clustering.labels)
+        self._rebuild()
+        self._record("restructure", None)
+
+    # -- quality ------------------------------------------------------------------
+
+    def quality(self) -> float:
+        """Current clustering quality (inter/intra separation ratio)."""
+        if self.clustering.cluster_count < 2:
+            return float("inf")
+        try:
+            return separation_ratio(self.space, self.clustering)
+        except Exception:
+            return float("nan")
+
+    def fresh_quality(self) -> float:
+        """Quality a from-scratch re-clustering would achieve right now."""
+        clustering = cluster_nodes(self.space, list(self._labels), self._cluster_config)
+        if clustering.cluster_count < 2:
+            return float("inf")
+        return separation_ratio(self.space, clustering)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        self.space = CoordinateSpace(self._coords)
+        proxies = list(self._labels)
+        # Compact cluster ids (clusters may vanish when their last member leaves).
+        ids = sorted({self._labels[p] for p in proxies})
+        remap = {old: new for new, old in enumerate(ids)}
+        clusters: List[List[ProxyId]] = [[] for _ in ids]
+        for p in proxies:
+            self._labels[p] = remap[self._labels[p]]
+            clusters[self._labels[p]].append(p)
+        self.clustering = Clustering(
+            clusters=[sorted(c) for c in clusters], labels=dict(self._labels)
+        )
+        self.overlay = OverlayNetwork(
+            physical=self.framework.physical,
+            proxies=proxies,
+            placement={p: self._placement[p] for p in proxies},
+            space=self.space,
+        )
+        self.hfc: HFCTopology = build_hfc(self.overlay, self.clustering)
+
+    def _record(self, kind: str, proxy: Optional[ProxyId]) -> None:
+        self.history.append(
+            ChurnEvent(
+                kind=kind,
+                proxy=proxy,
+                cluster=self._labels.get(proxy) if proxy is not None else None,
+                quality_after=self.quality(),
+            )
+        )
+
+    def _maybe_restructure(self) -> None:
+        if self.restructure_tolerance is None:
+            return
+        current = self.quality()
+        fresh = self.fresh_quality()
+        if not (current == current and fresh == fresh):  # NaN guard
+            return
+        if fresh > 0 and current < self.restructure_tolerance * fresh:
+            self.restructure()
+
+
+def run_churn_session(
+    framework: HFCFramework,
+    *,
+    events: int = 40,
+    join_probability: float = 0.5,
+    seed: RngLike = None,
+    restructure_tolerance: Optional[float] = 0.7,
+) -> DynamicOverlay:
+    """Drive a random churn session against *framework* (the E1 bench).
+
+    Joins pick random unused stub routers and random service subsets from
+    the catalog; leaves pick random current members. Returns the
+    :class:`DynamicOverlay` with its full event history.
+    """
+    rng = ensure_rng(seed)
+    dyn = DynamicOverlay(framework, restructure_tolerance=restructure_tolerance)
+    catalog = list(framework.catalog.names)
+    used = set(dyn.proxies)
+    free = [s for s in framework.physical.topology.stub_nodes if s not in used]
+    rng.shuffle(free)
+    for _ in range(events):
+        do_join = rng.random() < join_probability and free
+        if do_join:
+            router = free.pop()
+            count = rng.randint(4, min(10, len(catalog)))
+            dyn.join(router, frozenset(rng.sample(catalog, count)))
+        elif dyn.size > 3:
+            dyn.leave(rng.choice(dyn.proxies))
+    return dyn

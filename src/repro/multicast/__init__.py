@@ -1,0 +1,15 @@
+"""Service multicast trees (the authors' companion line of work, refs [3]/[6])."""
+
+from repro.multicast.tree import (
+    MulticastRequest,
+    ServiceTree,
+    build_service_tree,
+    unicast_baseline_cost,
+)
+
+__all__ = [
+    "MulticastRequest",
+    "ServiceTree",
+    "build_service_tree",
+    "unicast_baseline_cost",
+]

@@ -1,0 +1,241 @@
+"""Service multicast trees over the HFC overlay.
+
+The paper's reference list contains the authors' companion work on service
+multicast ("mc-SPF" [3], "On Construction of Service Multicast Trees" [6]):
+one source streams to *many* clients, each needing the same composed
+service chain. Replicating the full unicast service path per destination
+wastes both processing (services run once per destination) and bandwidth;
+a **service multicast tree** applies the service chain once and then
+replicates the processed stream along a distribution tree.
+
+Construction here follows the natural two-stage shape on top of the
+hierarchical framework:
+
+1. **chain selection** — for each candidate anchor destination, resolve the
+   service chain hierarchically (Section 5 machinery) and price
+   chain + distribution; keep the cheapest combination;
+2. **distribution tree** — a Euclidean MST over the chain's tail proxy and
+   all destinations (coordinate estimates — the information proxies
+   actually have), with every tree edge expanded through the HFC topology
+   (direct inside a cluster, border relays across clusters).
+
+The result answers every destination with a valid service path (the shared
+chain plus its tree branch), and the bench compares total tree cost against
+the per-destination unicast baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.graph.mst import euclidean_mst
+from repro.overlay.network import OverlayNetwork, ProxyId
+from repro.routing.hierarchical import HierarchicalRouter
+from repro.routing.path import Hop, ServicePath
+from repro.services.graph import ServiceGraph
+from repro.services.request import ServiceRequest
+from repro.util.errors import RoutingError
+
+
+@dataclass(frozen=True)
+class MulticastRequest:
+    """One source, one service graph, many destinations."""
+
+    source_proxy: ProxyId
+    service_graph: ServiceGraph
+    destinations: Tuple[ProxyId, ...]
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise RoutingError("multicast request needs at least one destination")
+        if len(set(self.destinations)) != len(self.destinations):
+            raise RoutingError("duplicate destinations in multicast request")
+        if self.source_proxy in self.destinations:
+            raise RoutingError("source cannot also be a destination")
+
+
+@dataclass
+class ServiceTree:
+    """A service multicast tree.
+
+    Attributes:
+        chain: the shared service path from the source through every
+            service slot (ends at the tail proxy, before distribution).
+        tree_edges: distribution edges as concrete proxy chains (each the
+            HFC expansion of one logical tree link), rooted at the chain
+            tail.
+        branch_of: destination -> its distribution route from the chain
+            tail (list of proxies, tail first).
+    """
+
+    chain: ServicePath
+    tree_edges: List[List[ProxyId]]
+    branch_of: Dict[ProxyId, List[ProxyId]]
+
+    @property
+    def tail(self) -> ProxyId:
+        """The proxy holding the fully processed stream."""
+        return self.chain.hops[-1].proxy
+
+    def path_to(self, destination: ProxyId) -> ServicePath:
+        """The complete service path experienced by *destination*."""
+        try:
+            branch = self.branch_of[destination]
+        except KeyError:
+            raise RoutingError(f"{destination!r} is not a tree destination") from None
+        hops: List[Hop] = list(self.chain.hops)
+        for proxy in branch[1:]:
+            hops.append(Hop(proxy=proxy))
+        merged: List[Hop] = []
+        for hop in hops:
+            if merged and merged[-1].proxy == hop.proxy and hop.service is None:
+                continue
+            merged.append(hop)
+        return ServicePath(hops=tuple(merged))
+
+    def total_cost(self, overlay: OverlayNetwork) -> float:
+        """True-delay cost of the whole tree: chain + every tree edge once.
+
+        This is the bandwidth-style cost a multicast tree saves versus
+        unicast: shared links (and the service chain) are paid once.
+        """
+        cost = self.chain.true_delay(overlay)
+        for edge in self.tree_edges:
+            cost += sum(
+                overlay.true_delay(u, v) for u, v in zip(edge, edge[1:])
+            )
+        return cost
+
+    def destination_latency(self, overlay: OverlayNetwork, destination: ProxyId) -> float:
+        """True delay from source to *destination* through the tree."""
+        return self.path_to(destination).true_delay(overlay)
+
+
+def build_service_tree(
+    router: HierarchicalRouter,
+    request: MulticastRequest,
+    *,
+    anchor_candidates: Optional[int] = 4,
+) -> ServiceTree:
+    """Construct a service multicast tree for *request*.
+
+    Args:
+        router: a hierarchical router over the target HFC topology.
+        request: the multicast request.
+        anchor_candidates: how many destinations to try as the chain's
+            anchor (None = all). Anchors are tried nearest-first in
+            coordinate space; more candidates trade construction time for
+            tree quality.
+    """
+    hfc = router.hfc
+    space = hfc.space
+    destinations = list(request.destinations)
+    order = sorted(
+        destinations, key=lambda d: space.distance(request.source_proxy, d)
+    )
+    if anchor_candidates is not None:
+        order = order[:anchor_candidates]
+
+    best: Optional[Tuple[float, ServiceTree]] = None
+    for anchor in order:
+        unicast = ServiceRequest(
+            request.source_proxy, request.service_graph, anchor
+        )
+        chain_path = router.route(unicast)
+        chain = _strip_trailing_relays(chain_path)
+        tree = _distribution_tree(hfc, chain, destinations)
+        estimate = _estimated_tree_cost(space, chain, tree)
+        if best is None or estimate < best[0]:
+            best = (estimate, tree)
+    assert best is not None
+    return best[1]
+
+
+def _strip_trailing_relays(path: ServicePath) -> ServicePath:
+    """Drop pure-relay hops after the last service hop.
+
+    The chain only needs to reach the proxy applying the final service; the
+    distribution tree takes over from there.
+    """
+    hops = list(path.hops)
+    last_service = max(
+        (i for i, h in enumerate(hops) if h.service is not None),
+        default=len(hops) - 1,
+    )
+    return ServicePath(hops=tuple(hops[: last_service + 1]))
+
+
+def _distribution_tree(
+    hfc, chain: ServicePath, destinations: Sequence[ProxyId]
+) -> ServiceTree:
+    """MST distribution from the chain tail to every destination."""
+    tail = chain.hops[-1].proxy
+    nodes: List[ProxyId] = [tail] + [d for d in destinations if d != tail]
+    points = hfc.space.array(nodes)
+    mst = euclidean_mst(points)
+
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(len(nodes))}
+    for i, j, _ in mst:
+        adjacency[i].append(j)
+        adjacency[j].append(i)
+
+    # orient edges away from the tail (index 0) and expand through HFC
+    parent: Dict[int, int] = {0: 0}
+    order: List[int] = [0]
+    stack = [0]
+    seen: Set[int] = {0}
+    while stack:
+        node = stack.pop()
+        for nxt in adjacency[node]:
+            if nxt not in seen:
+                seen.add(nxt)
+                parent[nxt] = node
+                order.append(nxt)
+                stack.append(nxt)
+
+    tree_edges: List[List[ProxyId]] = []
+    route_to: Dict[int, List[ProxyId]] = {0: [tail]}
+    for idx in order[1:]:
+        u = nodes[parent[idx]]
+        v = nodes[idx]
+        expansion = hfc.expand_hop(u, v)
+        tree_edges.append(expansion)
+        route_to[idx] = route_to[parent[idx]] + expansion[1:]
+
+    branch_of = {
+        nodes[idx]: route for idx, route in route_to.items() if idx != 0
+    }
+    branch_of[tail] = [tail]
+    return ServiceTree(
+        chain=chain,
+        tree_edges=tree_edges,
+        branch_of={d: branch_of[d] for d in destinations},
+    )
+
+
+def _estimated_tree_cost(space, chain: ServicePath, tree: ServiceTree) -> float:
+    """Coordinate-space cost used to compare anchor candidates."""
+    proxies = chain.proxies()
+    cost = sum(space.distance(u, v) for u, v in zip(proxies, proxies[1:]))
+    for edge in tree.tree_edges:
+        cost += sum(space.distance(u, v) for u, v in zip(edge, edge[1:]))
+    return cost
+
+
+def unicast_baseline_cost(
+    router: HierarchicalRouter,
+    request: MulticastRequest,
+    overlay: OverlayNetwork,
+) -> float:
+    """Total true-delay cost of serving every destination with its own
+    unicast service path — the no-multicast baseline."""
+    total = 0.0
+    for destination in request.destinations:
+        unicast = ServiceRequest(
+            request.source_proxy, request.service_graph, destination
+        )
+        total += router.route(unicast).true_delay(overlay)
+    return total

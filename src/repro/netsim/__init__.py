@@ -1,0 +1,21 @@
+"""Physical-network substrate: topology generators, delay oracle, event sim."""
+
+from repro.netsim.eventsim import Message, Process, Simulator
+from repro.netsim.physical import PhysicalNetwork
+from repro.netsim.topology import (
+    PhysicalTopology,
+    TransitStubConfig,
+    transit_stub,
+    waxman,
+)
+
+__all__ = [
+    "Message",
+    "PhysicalNetwork",
+    "PhysicalTopology",
+    "Process",
+    "Simulator",
+    "TransitStubConfig",
+    "transit_stub",
+    "waxman",
+]

@@ -1,0 +1,162 @@
+"""The single-level mesh baseline topology (paper Section 6.2).
+
+"A regular mesh is constructed with the following rules: each proxy creates
+links to its 1-4 nearest neighbors, and 1-2 randomly chosen, farther located
+neighbors (to make the topology connected)."
+
+Link weights follow Section 6.1's setup: "since we used coordinates-based
+distance map in the HFC framework, we will also assume this for single-level
+topology service routing" — the mesh's global state is built from the same
+coordinate estimates the HFC framework uses (``weight="coords"``, the
+default), so both systems route on equally imprecise information and the
+comparison isolates *topology*, exactly as in the paper. Passing
+``weight="true"`` instead gives the mesh perfectly measured link delays — an
+ablation quantifying how much of the mesh's loss is information quality.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.overlay.network import OverlayNetwork
+from repro.util.errors import TopologyError
+from repro.util.rng import RngLike, ensure_rng
+
+
+def build_mesh(
+    overlay: OverlayNetwork,
+    *,
+    near_min: int = 1,
+    near_max: int = 4,
+    far_min: int = 1,
+    far_max: int = 2,
+    weight: str = "coords",
+    seed: RngLike = None,
+) -> Graph:
+    """Build the paper's regular mesh over *overlay*'s proxies.
+
+    Each proxy links to ``U[near_min, near_max]`` nearest proxies plus
+    ``U[far_min, far_max]`` uniformly random other proxies. Neighbour
+    selection and link weights both use the distance map selected by
+    *weight*: ``"coords"`` (coordinate estimates, the paper's setting) or
+    ``"true"`` (ground-truth delays, the information-quality ablation). If
+    the result is still disconnected (possible at tiny sizes), components are
+    stitched with their closest cross-pairs, mirroring the paper's stated
+    intent that the random links "make the topology connected".
+    """
+    if not 1 <= near_min <= near_max:
+        raise TopologyError(f"invalid near bounds [{near_min}, {near_max}]")
+    if not 0 <= far_min <= far_max:
+        raise TopologyError(f"invalid far bounds [{far_min}, {far_max}]")
+    if weight not in ("coords", "true"):
+        raise TopologyError(f"weight must be 'coords' or 'true', got {weight!r}")
+    rng = ensure_rng(seed)
+    proxies = overlay.proxies
+    n = len(proxies)
+    mesh = Graph()
+    mesh.add_nodes(proxies)
+    if n == 1:
+        return mesh
+
+    if weight == "true":
+        delays = overlay.true_delay_matrix()
+    else:
+        if overlay.space is None:
+            raise TopologyError(
+                "weight='coords' needs a coordinate space on the overlay"
+            )
+        delays = overlay.space.distance_matrix(proxies)
+    order = np.argsort(delays, axis=1, kind="stable")
+    for i, proxy in enumerate(proxies):
+        near_count = min(rng.randint(near_min, near_max), n - 1)
+        picked = 0
+        for j in order[i]:
+            if int(j) == i:
+                continue
+            mesh.add_edge(proxy, proxies[int(j)], float(delays[i, int(j)]))
+            picked += 1
+            if picked >= near_count:
+                break
+        far_count = rng.randint(far_min, far_max)
+        for _ in range(far_count):
+            j = rng.randrange(n)
+            if j != i and not mesh.has_edge(proxy, proxies[j]):
+                mesh.add_edge(proxy, proxies[j], float(delays[i, j]))
+
+    _stitch_components(mesh, overlay, delays)
+    return mesh
+
+
+def _stitch_components(mesh: Graph, overlay: OverlayNetwork, delays: np.ndarray) -> None:
+    """Connect any remaining components via their closest cross-pairs."""
+    from repro.graph.components import connected_components
+
+    components = connected_components(mesh)
+    while len(components) > 1:
+        base, other = components[0], components[1]
+        base_idx = [overlay.index_of(p) for p in base]
+        other_idx = [overlay.index_of(p) for p in other]
+        sub = delays[np.ix_(base_idx, other_idx)]
+        flat = int(np.argmin(sub))
+        bi, oi = divmod(flat, sub.shape[1])
+        u, v = base[bi], other[oi]
+        mesh.add_edge(u, v, float(sub[bi, oi]))
+        components = connected_components(mesh)
+
+
+def build_gabriel_mesh(overlay: OverlayNetwork, *, weight: str = "coords") -> Graph:
+    """A Gabriel-graph proximity mesh over the overlay's coordinates.
+
+    Proxies u, v are linked iff no third proxy lies inside the circle with
+    diameter (u, v) — a classic proximity structure related to the Delaunay
+    meshes of the paper's reference [2]. The Gabriel graph contains the
+    Euclidean MST, so it is connected by construction, and its degree adapts
+    to local density instead of being fixed like the regular mesh's.
+
+    Link weights follow *weight* ("coords" or "true") like
+    :func:`build_mesh`. Deterministic (no randomness).
+    """
+    if weight not in ("coords", "true"):
+        raise TopologyError(f"weight must be 'coords' or 'true', got {weight!r}")
+    if overlay.space is None:
+        raise TopologyError("a Gabriel mesh needs a coordinate space")
+    proxies = overlay.proxies
+    mesh = Graph()
+    mesh.add_nodes(proxies)
+    n = len(proxies)
+    if n == 1:
+        return mesh
+
+    points = overlay.space.array(proxies)
+    diff = points[:, None, :] - points[None, :, :]
+    sq = np.einsum("ijk,ijk->ij", diff, diff)
+
+    measure = (
+        overlay.coordinate_distance if weight == "coords" else overlay.true_delay
+    )
+    for i in range(n):
+        for j in range(i + 1, n):
+            midpoint_sq = sq[i, j]
+            # w is inside the diameter circle iff |w-u|^2 + |w-v|^2 < |u-v|^2
+            inside = sq[i] + sq[j] < midpoint_sq - 1e-12
+            inside[i] = inside[j] = False
+            if not inside.any():
+                mesh.add_edge(proxies[i], proxies[j], measure(proxies[i], proxies[j]))
+    return mesh
+
+
+def mesh_statistics(mesh: Graph) -> dict:
+    """Degree and weight statistics of a mesh (used in reports and tests)."""
+    degrees = [mesh.degree(node) for node in mesh.nodes()]
+    weights: List[float] = [w for _, _, w in mesh.edges()]
+    return {
+        "nodes": mesh.node_count,
+        "edges": mesh.edge_count,
+        "degree_min": min(degrees) if degrees else 0,
+        "degree_max": max(degrees) if degrees else 0,
+        "degree_mean": sum(degrees) / len(degrees) if degrees else 0.0,
+        "weight_mean": sum(weights) / len(weights) if weights else 0.0,
+    }

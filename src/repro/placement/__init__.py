@@ -1,0 +1,15 @@
+"""Service-placement optimisation (the operator-side companion)."""
+
+from repro.placement.optimizer import (
+    PlacementPlan,
+    demand_weights,
+    greedy_kmedian,
+    optimize_placement,
+)
+
+__all__ = [
+    "PlacementPlan",
+    "demand_weights",
+    "greedy_kmedian",
+    "optimize_placement",
+]

@@ -1,0 +1,203 @@
+"""Service-placement optimisation — the operator-side companion.
+
+The paper takes service placement as given ("services are statically
+installed on proxies") and optimises routing. An operator controls the
+other half of the problem: *where to install replicas*. This module closes
+the loop with a greedy k-median placement optimiser:
+
+* the replica budget per service is split proportionally to the service's
+  demand (uniform or Zipf workload weights);
+* each service's replicas are placed by greedy k-median on the coordinate
+  space — every added replica maximally reduces the mean distance from all
+  proxies to their nearest replica (the classic (1 - 1/e) facility-location
+  greedy);
+* per-proxy capacity is respected (no proxy hosts more than its slot count).
+
+The E8 bench routes the same workload over demand-aware, demand-oblivious
+(uniform-random) and original placements, measuring what placement alone
+buys the routing layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+import numpy as np
+
+from repro.coords.space import CoordinateSpace
+from repro.overlay.network import OverlayNetwork, ProxyId
+from repro.services.catalog import ServiceCatalog, ServiceName
+from repro.services.placement import Placement
+from repro.util.errors import ServiceModelError
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class PlacementPlan:
+    """An optimised placement and the accounting behind it.
+
+    Attributes:
+        placement: the new proxy -> services map.
+        replicas: replica count chosen per service.
+        demand: the demand weight used per service.
+    """
+
+    placement: Placement
+    replicas: Dict[ServiceName, int]
+    demand: Dict[ServiceName, float]
+
+
+def demand_weights(
+    catalog: ServiceCatalog,
+    *,
+    popularity: str = "uniform",
+    zipf_exponent: float = 1.0,
+) -> Dict[ServiceName, float]:
+    """Normalised demand weight per service (uniform or Zipf by rank)."""
+    names = list(catalog.names)
+    if popularity == "uniform":
+        raw = [1.0] * len(names)
+    elif popularity == "zipf":
+        raw = [1.0 / (rank + 1) ** zipf_exponent for rank in range(len(names))]
+    else:
+        raise ServiceModelError(f"unknown popularity model {popularity!r}")
+    total = sum(raw)
+    return {name: value / total for name, value in zip(names, raw)}
+
+
+def greedy_kmedian(
+    space: CoordinateSpace,
+    candidates: Sequence[ProxyId],
+    clients: Sequence[ProxyId],
+    k: int,
+) -> List[ProxyId]:
+    """Greedy k-median: pick k candidates minimising mean client distance.
+
+    Each step adds the candidate with the largest marginal reduction of
+    ``mean_c min_f d(c, f)`` — the standard submodular greedy.
+    """
+    if k < 1:
+        raise ServiceModelError(f"k must be >= 1, got {k}")
+    k = min(k, len(candidates))
+    client_pts = space.array(list(clients))
+    cand_pts = space.array(list(candidates))
+    diff = client_pts[:, None, :] - cand_pts[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+    chosen: List[int] = []
+    best: Optional[np.ndarray] = None
+    for _ in range(k):
+        if best is None:
+            # first facility: the exact 1-median over the candidates
+            pick = int(np.argmin(dist.sum(axis=0)))
+        else:
+            # marginal gain of each unchosen candidate
+            gains = np.sum(np.maximum(best[:, None] - dist, 0.0), axis=0)
+            gains[chosen] = -1.0
+            pick = int(np.argmax(gains))
+            if gains[pick] <= 0:
+                break  # no candidate improves coverage further
+        chosen.append(pick)
+        column = dist[:, pick]
+        best = column.copy() if best is None else np.minimum(best, column)
+    return [list(candidates)[i] for i in chosen]
+
+
+def optimize_placement(
+    overlay: OverlayNetwork,
+    catalog: ServiceCatalog,
+    *,
+    replica_budget: Optional[int] = None,
+    min_replicas: int = 1,
+    popularity: str = "uniform",
+    zipf_exponent: float = 1.0,
+    seed: RngLike = None,
+) -> PlacementPlan:
+    """Compute a demand-aware placement for *catalog* over *overlay*.
+
+    Args:
+        overlay: target overlay (its coordinate space drives the k-median).
+        catalog: the services to place.
+        replica_budget: total replica slots; defaults to the current
+            placement's total (so comparisons are slot-for-slot fair).
+        min_replicas: floor per service (availability).
+        popularity: demand model ("uniform" or "zipf").
+        zipf_exponent: exponent of the Zipf model.
+        seed: tie-breaking randomness for capacity overflow handling.
+    """
+    if overlay.space is None:
+        raise ServiceModelError("placement optimisation needs a coordinate space")
+    rng = ensure_rng(seed)
+    proxies = list(overlay.proxies)
+    if replica_budget is None:
+        replica_budget = sum(len(s) for s in overlay.placement.values())
+    if replica_budget < min_replicas * len(catalog):
+        raise ServiceModelError(
+            f"budget {replica_budget} cannot give every service "
+            f"{min_replicas} replicas"
+        )
+    #: per-proxy capacity mirrors the current installation sizes
+    capacity = {p: max(1, len(overlay.placement[p])) for p in proxies}
+
+    demand = demand_weights(
+        catalog, popularity=popularity, zipf_exponent=zipf_exponent
+    )
+    spare = replica_budget - min_replicas * len(catalog)
+    replicas = {
+        name: min_replicas + int(round(spare * share))
+        for name, share in demand.items()
+    }
+    # a service cannot usefully exceed one replica per proxy
+    for name in replicas:
+        replicas[name] = min(replicas[name], len(proxies))
+    # rounding drift and clamping surplus: redistribute deterministically
+    names_by_demand = sorted(demand, key=lambda n: (-demand[n], n))
+    drift = sum(replicas.values()) - replica_budget
+    idx = 0
+    stalled = 0
+    while drift != 0 and stalled < len(names_by_demand):
+        name = names_by_demand[idx % len(names_by_demand)]
+        idx += 1
+        if drift > 0 and replicas[name] > min_replicas:
+            replicas[name] -= 1
+            drift -= 1
+            stalled = 0
+        elif drift < 0 and replicas[name] < len(proxies):
+            replicas[name] += 1
+            drift += 1
+            stalled = 0
+        else:
+            stalled += 1
+
+    load: Dict[ProxyId, int] = {p: 0 for p in proxies}
+    assignment: Dict[ProxyId, set] = {p: set() for p in proxies}
+    # popular services place first so they get the best spots
+    for name in names_by_demand:
+        open_proxies = [p for p in proxies if load[p] < capacity[p]]
+        if not open_proxies:
+            raise ServiceModelError("placement capacity exhausted")
+        picked = greedy_kmedian(
+            overlay.space, open_proxies, proxies, replicas[name]
+        )
+        # capacity may truncate the greedy's choice below the target; pad
+        # with random open proxies so availability floors hold
+        while len(picked) < min(replicas[name], len(open_proxies)):
+            extra = rng.choice(
+                [p for p in open_proxies if p not in picked]
+            )
+            picked.append(extra)
+        for proxy in picked:
+            assignment[proxy].add(name)
+            load[proxy] += 1
+
+    placement: Placement = {
+        p: frozenset(services) for p, services in assignment.items()
+    }
+    # every service must exist somewhere
+    covered = set().union(*placement.values()) if placement else set()
+    missing = [n for n in catalog.names if n not in covered]
+    for name in missing:
+        victim = rng.choice(proxies)
+        placement[victim] = placement[victim] | {name}
+    return PlacementPlan(placement=placement, replicas=replicas, demand=demand)

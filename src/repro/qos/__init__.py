@@ -1,0 +1,19 @@
+"""QoS extension (paper Section 7 future work): bandwidth-aware routing."""
+
+from repro.qos.bandwidth import (
+    BandwidthAwareProvider,
+    BandwidthModel,
+    QoSHierarchicalRouter,
+    cluster_pair_bandwidth,
+    intra_cluster_bandwidth_stats,
+    qos_flat_router,
+)
+
+__all__ = [
+    "BandwidthAwareProvider",
+    "BandwidthModel",
+    "QoSHierarchicalRouter",
+    "cluster_pair_bandwidth",
+    "intra_cluster_bandwidth_stats",
+    "qos_flat_router",
+]

@@ -1,0 +1,54 @@
+"""Service routing: paths, service DAGs, flat/mesh/hierarchical routers."""
+
+from repro.routing.aggregation import CentroidAggregationRouter
+from repro.routing.cache import CachedHierarchicalRouter
+from repro.routing.signaling import SetupReport, SignalingSimulator
+from repro.routing.flat import FlatRouter, coordinate_router, oracle_router
+from repro.routing.hierarchical import (
+    ChildRequest,
+    ClusterServicePath,
+    HierarchicalResult,
+    HierarchicalRouter,
+)
+from repro.routing.meshrouting import MeshRouter, hfc_full_state_router
+from repro.routing.path import Hop, ServicePath, path_from_assignment, validate_path
+from repro.routing.providers import (
+    CoordinateProvider,
+    DistanceProvider,
+    MatrixProvider,
+    TrueDelayProvider,
+)
+from repro.routing.servicedag import (
+    DagSolution,
+    brute_force,
+    solve_reference,
+    solve_vectorised,
+)
+
+__all__ = [
+    "CachedHierarchicalRouter",
+    "CentroidAggregationRouter",
+    "ChildRequest",
+    "ClusterServicePath",
+    "CoordinateProvider",
+    "DagSolution",
+    "DistanceProvider",
+    "FlatRouter",
+    "HierarchicalResult",
+    "HierarchicalRouter",
+    "Hop",
+    "MatrixProvider",
+    "MeshRouter",
+    "ServicePath",
+    "SetupReport",
+    "SignalingSimulator",
+    "TrueDelayProvider",
+    "brute_force",
+    "coordinate_router",
+    "hfc_full_state_router",
+    "oracle_router",
+    "path_from_assignment",
+    "solve_reference",
+    "solve_vectorised",
+    "validate_path",
+]

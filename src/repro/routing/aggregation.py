@@ -1,0 +1,92 @@
+"""Single-logical-node cluster aggregation — the design the paper rejects.
+
+Section 3: "the most common way of topology aggregation is to represent a
+group of nodes as a single logical node [PNNI]. Such a representation is
+simplest, but also introduces too much imprecision [20]. In our framework,
+we will make all border nodes of a cluster (several nodes instead of a
+single one) represent a group."
+
+:class:`CentroidAggregationRouter` implements the rejected alternative so
+the claim can be measured (ablation A6): at the cluster level every cluster
+collapses to its coordinate centroid — inter-cluster edge weights are
+centroid-to-centroid distances and internal extents are invisible (zero).
+The *data plane* is unchanged (messages still traverse the HFC border
+links; dissection and intra-cluster resolution work exactly as in
+:class:`~repro.routing.hierarchical.HierarchicalRouter`), so any quality
+difference is attributable purely to the coarser control-plane information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.overlay.hfc import HFCTopology
+from repro.routing.hierarchical import HierarchicalRouter
+
+
+class _CentroidView:
+    """HFC view whose external estimates are centroid distances and whose
+    internal border-to-border segments are invisible."""
+
+    def __init__(self, hfc: HFCTopology) -> None:
+        self._hfc = hfc
+        self._centroids: Dict[int, np.ndarray] = {
+            cid: hfc.space.array(hfc.members(cid)).mean(axis=0)
+            for cid in range(hfc.cluster_count)
+        }
+
+    def external_estimate(self, i: int, j: int) -> float:
+        return float(np.linalg.norm(self._centroids[i] - self._centroids[j]))
+
+    @property
+    def space(self):
+        return _ZeroInternalSpace()
+
+    def __getattr__(self, name: str):
+        return getattr(self._hfc, name)
+
+
+class _ZeroInternalSpace:
+    """A space in which every internal segment has zero length — the
+    information a single-logical-node aggregate actually carries."""
+
+    def distance(self, u, v) -> float:
+        return 0.0
+
+
+class CentroidAggregationRouter(HierarchicalRouter):
+    """Hierarchical routing over single-logical-node (centroid) aggregates.
+
+    Only the cluster-level map/shortest-path steps see the coarse view;
+    dissection and intra-cluster resolution run on the true HFC topology,
+    so returned paths are valid — just chosen with poorer information.
+    """
+
+    def __init__(self, hfc: HFCTopology, **kwargs) -> None:
+        kwargs.setdefault("method", "backtrack")
+        super().__init__(_CentroidView(hfc), **kwargs)  # type: ignore[arg-type]
+        # Intra-cluster resolution must use real geometry, not the zero
+        # space the CSP stage saw.
+        from repro.routing.providers import CoordinateProvider
+
+        self._provider = CoordinateProvider(hfc.space)
+        self._real_hfc = hfc
+
+    def dissect(self, request, csp):
+        """Dissection needs real borders; swap the view for the real HFC."""
+        original = self.hfc
+        self.hfc = self._real_hfc
+        try:
+            return super().dissect(request, csp)
+        finally:
+            self.hfc = original
+
+    def solve_child(self, request, child):
+        original = self.hfc
+        self.hfc = self._real_hfc
+        try:
+            return super().solve_child(request, child)
+        finally:
+            self.hfc = original

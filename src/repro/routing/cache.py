@@ -1,0 +1,89 @@
+"""CSP caching for the hierarchical router.
+
+A destination proxy pd repeatedly resolves requests whose *cluster-level*
+answer is identical: the CSP depends only on the service graph's shape, the
+source proxy's cluster, and pd itself — not on which exact proxy inside the
+source cluster issued the data. Real deployments would memoise that step
+(it is the only step touching global aggregate state), so this module
+provides :class:`CachedHierarchicalRouter`: an LRU cache over CSPs with
+explicit invalidation for when SCT_C changes.
+
+The intra-cluster conquer step is *not* cached: it depends on the concrete
+endpoints and is already cheap and local.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from repro.routing.hierarchical import ClusterServicePath, HierarchicalRouter
+from repro.services.graph import ServiceGraph
+from repro.services.request import ServiceRequest
+from repro.util.errors import RoutingError
+
+
+def service_graph_signature(sg: ServiceGraph) -> Hashable:
+    """A hashable identity of an SG's shape and service names."""
+    return (
+        tuple(sorted((slot, name) for slot, name in sg.services.items())),
+        tuple(sorted(sg.edges)),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a CSP cache."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachedHierarchicalRouter(HierarchicalRouter):
+    """A hierarchical router with an LRU cache over cluster-level paths."""
+
+    def __init__(self, *args, cache_size: int = 1024, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if cache_size < 1:
+            raise RoutingError("cache_size must be >= 1")
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[Hashable, ClusterServicePath]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def _key(self, request: ServiceRequest) -> Hashable:
+        return (
+            service_graph_signature(request.service_graph),
+            self.hfc.cluster_of(request.source_proxy),
+            request.destination_proxy,
+        )
+
+    def cluster_level_path(self, request: ServiceRequest) -> ClusterServicePath:
+        key = self._key(request)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        csp = super().cluster_level_path(request)
+        self._cache[key] = csp
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return csp
+
+    def invalidate(self) -> None:
+        """Drop every cached CSP (call when SCT_C content changes)."""
+        self._cache.clear()
+        self.stats.invalidations += 1
+
+    def update_capabilities(self, cluster_capabilities) -> None:
+        """Replace SCT_C and invalidate the cache in one step."""
+        self.cluster_capabilities = dict(cluster_capabilities)
+        self.invalidate()

@@ -1,0 +1,158 @@
+"""Single-level (flat) service routing — the [11] algorithm, generalised.
+
+A :class:`FlatRouter` answers requests with global knowledge: it knows every
+proxy's services and a distance between every proxy pair (through a
+:class:`~repro.routing.providers.DistanceProvider`). Instantiations:
+
+* **full-state coordinate routing** over the virtually fully-connected
+  overlay (the paper's single-level comparison point for state overhead);
+* **oracle routing** over true delays (a lower-bound reference);
+* **mesh routing** and **HFC-without-aggregation routing** via a matrix
+  provider plus a hop *expander* that inserts the relay proxies the matrix
+  distances implicitly traverse (see :mod:`repro.routing.mesh`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.overlay.network import OverlayNetwork, ProxyId
+from repro.routing.path import Hop, ServicePath
+from repro.routing.providers import (
+    CoordinateProvider,
+    DistanceProvider,
+    TrueDelayProvider,
+)
+from repro.routing.servicedag import solve_reference, solve_vectorised
+from repro.services.request import ServiceRequest
+from repro.util.errors import RoutingError
+
+#: expands one overlay hop (u, v) into the relay proxy sequence [u, ..., v]
+HopExpander = Callable[[ProxyId, ProxyId], Sequence[ProxyId]]
+
+
+class FlatRouter:
+    """Optimal service routing with a global view over a distance provider."""
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        provider: DistanceProvider,
+        *,
+        expander: Optional[HopExpander] = None,
+        candidate_filter: Optional[Callable[[ProxyId], bool]] = None,
+        use_numpy: bool = True,
+        name: str = "flat",
+    ) -> None:
+        """
+        Args:
+            overlay: the overlay network (placement + delays).
+            provider: distance oracle routing optimises against.
+            expander: optional relay expansion per chosen overlay hop; when
+                None, hops are direct overlay links (fully-connected view).
+            candidate_filter: optional predicate restricting which proxies
+                may provide services (used for intra-cluster routing).
+            use_numpy: choose the vectorised or the reference solver.
+            name: label used in reports.
+        """
+        self.overlay = overlay
+        self.provider = provider
+        self.expander = expander
+        self.candidate_filter = candidate_filter
+        self.use_numpy = use_numpy
+        self.name = name
+
+    def candidates_for(self, request: ServiceRequest) -> Dict[int, List[ProxyId]]:
+        """Instance candidates per slot: every (allowed) provider of the slot's
+        service."""
+        result: Dict[int, List[ProxyId]] = {}
+        for slot in request.service_graph.slots():
+            service = request.service_graph.service_of(slot)
+            providers = self.overlay.providers_of(service)
+            if self.candidate_filter is not None:
+                providers = [p for p in providers if self.candidate_filter(p)]
+            result[slot] = providers
+        return result
+
+    def route(self, request: ServiceRequest) -> ServicePath:
+        """Compute an optimal service path for *request*.
+
+        Raises :class:`NoFeasiblePathError` when the request cannot be
+        satisfied by the (possibly filtered) overlay.
+        """
+        candidates = self.candidates_for(request)
+        if self.use_numpy:
+            solution = solve_vectorised(
+                request.service_graph,
+                candidates,
+                request.source_proxy,
+                request.destination_proxy,
+                self.provider.block,
+            )
+        else:
+            solution = solve_reference(
+                request.service_graph,
+                candidates,
+                request.source_proxy,
+                request.destination_proxy,
+                self.provider.pair,
+            )
+        return self._materialise(request, solution.assignment)
+
+    def _materialise(
+        self,
+        request: ServiceRequest,
+        assignment: Sequence[Tuple[int, ProxyId]],
+    ) -> ServicePath:
+        """Turn a slot→proxy assignment into a concrete path with relays."""
+        sg = request.service_graph
+        waypoints: List[Hop] = [Hop(proxy=request.source_proxy)]
+        for slot, proxy in assignment:
+            waypoints.append(Hop(proxy=proxy, service=sg.service_of(slot), slot=slot))
+        waypoints.append(Hop(proxy=request.destination_proxy))
+
+        hops: List[Hop] = [waypoints[0]]
+        for prev, nxt in zip(waypoints, waypoints[1:]):
+            if self.expander is not None and prev.proxy != nxt.proxy:
+                relays = list(self.expander(prev.proxy, nxt.proxy))
+                if not relays or relays[0] != prev.proxy or relays[-1] != nxt.proxy:
+                    raise RoutingError(
+                        f"expander returned invalid relay chain for "
+                        f"({prev.proxy!r}, {nxt.proxy!r}): {relays!r}"
+                    )
+                for relay in relays[1:-1]:
+                    hops.append(Hop(proxy=relay))
+            hops.append(nxt)
+        return ServicePath(hops=tuple(_merge_consecutive(hops)))
+
+
+def _merge_consecutive(hops: List[Hop]) -> List[Hop]:
+    """Drop relay hops that duplicate an adjacent hop on the same proxy."""
+    result: List[Hop] = []
+    for hop in hops:
+        if result and result[-1].proxy == hop.proxy:
+            if result[-1].service is None and hop.service is not None:
+                result[-1] = hop  # the service hop subsumes the relay
+            elif hop.service is None:
+                continue  # relay after a service hop on the same proxy
+            else:
+                result.append(hop)  # two services on the same proxy: keep both
+        else:
+            result.append(hop)
+    return result
+
+
+def coordinate_router(overlay: OverlayNetwork, **kwargs) -> FlatRouter:
+    """Flat full-state router over coordinate estimates (paper's flat case)."""
+    if overlay.space is None:
+        raise RoutingError("overlay has no coordinate space attached")
+    return FlatRouter(
+        overlay, CoordinateProvider(overlay.space), name="flat-coords", **kwargs
+    )
+
+
+def oracle_router(overlay: OverlayNetwork, **kwargs) -> FlatRouter:
+    """Flat router over ground-truth delays — the unbeatable reference."""
+    return FlatRouter(
+        overlay, TrueDelayProvider(overlay), name="flat-oracle", **kwargs
+    )

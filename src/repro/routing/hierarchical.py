@@ -1,0 +1,468 @@
+"""Hierarchical service-path finding (paper Section 5).
+
+The destination proxy resolves a request top-down:
+
+1. **map**: from its aggregate table SCT_C it finds, per service slot, the
+   *clusters* offering the service, and builds a cluster-level service DAG;
+2. **apply shortest-paths**: a modified DAG-shortest-paths run returns the
+   Cluster-level Service Path (CSP). The modification is the paper's
+   *back-tracking* step: besides external border-link lengths, the
+   relaxation accounts for internal border-to-border segments estimated
+   from the globally known border coordinates (and, inside the destination
+   proxy's own cluster, exact member coordinates);
+3. **divide**: the CSP is dissected into child requests — maximal runs of
+   consecutive services mapped into the same cluster; a child's endpoints
+   are the entry/exit border proxies (original endpoints at the ends);
+4. **conquer**: each cluster solves its child optimally with the flat
+   algorithm restricted to its members and full local state; the child
+   paths are composed into the final concrete service path.
+
+Three variants of step 2 are provided (`method=`):
+
+* ``"backtrack"`` (default, the paper's): labels carry the border through
+  which the cluster was entered, found by back-tracking the chosen
+  predecessor, and internal segments are added during relaxation;
+* ``"exact"``: dynamic programming over (slot, cluster, entry-border) states
+  — the imprecision-free version of the same cost model (ablation);
+* ``"external"``: unmodified DAG-shortest-paths on external link lengths
+  only — the naive baseline the paper's example argues against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.overlay.hfc import HFCTopology
+from repro.overlay.network import ProxyId
+from repro.routing.flat import FlatRouter, _merge_consecutive
+from repro.routing.path import Hop, ServicePath
+from repro.routing.providers import CoordinateProvider
+from repro.services.catalog import ServiceName
+from repro.services.graph import ServiceGraph, SlotId, linear_graph
+from repro.services.placement import aggregate_capability
+from repro.services.request import ServiceRequest
+from repro.util.errors import NoFeasiblePathError, RoutingError
+
+ClusterId = int
+#: a label key at the cluster level
+_Entry = Optional[ProxyId]
+
+METHODS = ("backtrack", "exact", "external")
+
+
+@dataclass(frozen=True)
+class ClusterServicePath:
+    """The CSP: which cluster serves each slot, plus the estimated bound."""
+
+    assignment: Tuple[Tuple[SlotId, ClusterId], ...]
+    source_cluster: ClusterId
+    destination_cluster: ClusterId
+    estimated_cost: float
+
+    def cluster_sequence(self) -> List[ClusterId]:
+        """Clusters in path order with consecutive duplicates collapsed."""
+        seq: List[ClusterId] = []
+        for _, cluster in self.assignment:
+            if not seq or seq[-1] != cluster:
+                seq.append(cluster)
+        return seq
+
+
+@dataclass(frozen=True)
+class ChildRequest:
+    """A dissected piece of the original request, solvable inside one cluster.
+
+    ``slots`` may be empty: the cluster then only relays from
+    *source_proxy* to *destination_proxy* (e.g. the source's own cluster
+    when no service is mapped there).
+    """
+
+    cluster: ClusterId
+    slots: Tuple[SlotId, ...]
+    services: Tuple[ServiceName, ...]
+    source_proxy: ProxyId
+    destination_proxy: ProxyId
+
+
+@dataclass
+class HierarchicalResult:
+    """Everything produced while resolving one request hierarchically."""
+
+    path: ServicePath
+    csp: ClusterServicePath
+    child_requests: List[ChildRequest]
+    child_paths: List[ServicePath]
+
+
+class HierarchicalRouter:
+    """Divide-and-conquer service routing over an HFC topology."""
+
+    def __init__(
+        self,
+        hfc: HFCTopology,
+        *,
+        method: str = "backtrack",
+        cluster_capabilities: Optional[Dict[ClusterId, FrozenSet[ServiceName]]] = None,
+        use_numpy: bool = True,
+    ) -> None:
+        """
+        Args:
+            hfc: the HFC topology (clusters, borders, coordinates).
+            method: CSP computation variant; one of ``backtrack``, ``exact``,
+                ``external``.
+            cluster_capabilities: SCT_C contents; defaults to the exact
+                aggregation of the current placement (a converged state
+                protocol). Pass protocol-produced tables to study staleness.
+            use_numpy: solver choice for the intra-cluster step.
+        """
+        if method not in METHODS:
+            raise RoutingError(f"method must be one of {METHODS}, got {method!r}")
+        self.hfc = hfc
+        self.method = method
+        self.use_numpy = use_numpy
+        if cluster_capabilities is None:
+            cluster_capabilities = {
+                cid: aggregate_capability(hfc.overlay.placement, hfc.members(cid))
+                for cid in range(hfc.cluster_count)
+            }
+        self.cluster_capabilities = cluster_capabilities
+        self._provider = CoordinateProvider(hfc.space)
+
+    # -- public API -----------------------------------------------------------
+
+    def route(self, request: ServiceRequest) -> ServicePath:
+        """Resolve *request* and return the final composed service path."""
+        return self.route_detailed(request).path
+
+    def route_detailed(self, request: ServiceRequest) -> HierarchicalResult:
+        """Resolve *request*, keeping the CSP and the child decomposition."""
+        csp = self.cluster_level_path(request)
+        children = self.dissect(request, csp)
+        child_paths = [self.solve_child(request, child) for child in children]
+        path = self.compose(request, child_paths)
+        return HierarchicalResult(
+            path=path, csp=csp, child_requests=children, child_paths=child_paths
+        )
+
+    # -- step 1+2: cluster-level service DAG -----------------------------------
+
+    def cluster_candidates(self, sg: ServiceGraph) -> Dict[SlotId, List[ClusterId]]:
+        """Clusters able to fill each slot, per SCT_C (the *map* step)."""
+        result: Dict[SlotId, List[ClusterId]] = {}
+        for slot in sg.slots():
+            service = sg.service_of(slot)
+            result[slot] = [
+                cid
+                for cid in range(self.hfc.cluster_count)
+                if service in self.cluster_capabilities.get(cid, frozenset())
+            ]
+        return result
+
+    def cluster_level_path(self, request: ServiceRequest) -> ClusterServicePath:
+        """Compute the CSP with the configured method."""
+        hfc = self.hfc
+        cs = hfc.cluster_of(request.source_proxy)
+        cd = hfc.cluster_of(request.destination_proxy)
+        sg = request.service_graph
+        candidates = self.cluster_candidates(sg)
+        if any(not c for c in candidates.values()) and not sg.is_linear:
+            # Non-linear SGs may route around empty slots; linear ones cannot.
+            pass
+        if sg.is_linear and any(not candidates[s] for s in sg.slots()):
+            missing = [
+                sg.service_of(s) for s in sg.slots() if not candidates[s]
+            ]
+            raise NoFeasiblePathError(
+                f"services unavailable in every cluster: {missing}"
+            )
+        if self.method == "exact":
+            cost, assignment = self._solve_exact(request, sg, candidates, cs, cd)
+        else:
+            cost, assignment = self._solve_label(
+                request, sg, candidates, cs, cd, with_internal=self.method == "backtrack"
+            )
+        return ClusterServicePath(
+            assignment=tuple(assignment),
+            source_cluster=cs,
+            destination_cluster=cd,
+            estimated_cost=cost,
+        )
+
+    # internal-distance helpers ------------------------------------------------
+
+    def _internal(self, entry: _Entry, exit_border: ProxyId) -> float:
+        """Estimated in-cluster segment from the entry border to the exit
+        border; zero when unknown (source cluster) or when they coincide."""
+        if entry is None or entry == exit_border:
+            return 0.0
+        return self.hfc.space.distance(entry, exit_border)
+
+    def _tail(
+        self, cluster: ClusterId, entry: _Entry, cd: ClusterId, pd: ProxyId,
+        with_internal: bool,
+    ) -> float:
+        """Bound on the remaining distance from the last service cluster to pd."""
+        hfc = self.hfc
+        if cluster == cd:
+            if not with_internal or entry is None:
+                return 0.0
+            return hfc.space.distance(entry, pd)
+        cost = hfc.external_estimate(cluster, cd)
+        if with_internal:
+            cost += self._internal(entry, hfc.border(cluster, cd))
+            cost += hfc.space.distance(hfc.border(cd, cluster), pd)
+        return cost
+
+    def _start(
+        self, cluster: ClusterId, cs: ClusterId, with_internal: bool
+    ) -> Tuple[float, _Entry]:
+        """Cost and entry border for reaching the first service cluster."""
+        if cluster == cs:
+            return 0.0, None
+        # pd cannot estimate the segment from ps to the exit border of cs
+        # (it has no coordinates for ps), so only the external link counts.
+        del with_internal  # the source-side internal segment is unknown either way
+        return (
+            self.hfc.external_estimate(cs, cluster),
+            self.hfc.border(cluster, cs),
+        )
+
+    # label-setting with optional back-tracking --------------------------------
+
+    def _solve_label(
+        self,
+        request: ServiceRequest,
+        sg: ServiceGraph,
+        candidates: Dict[SlotId, List[ClusterId]],
+        cs: ClusterId,
+        cd: ClusterId,
+        *,
+        with_internal: bool,
+    ) -> Tuple[float, List[Tuple[SlotId, ClusterId]]]:
+        hfc = self.hfc
+        dist: Dict[Tuple[SlotId, ClusterId], float] = {}
+        entry: Dict[Tuple[SlotId, ClusterId], _Entry] = {}
+        parent: Dict[Tuple[SlotId, ClusterId], Optional[Tuple[SlotId, ClusterId]]] = {}
+
+        source_slots = set(sg.source_slots())
+        for slot in sg.topological_order():
+            for cj in candidates[slot]:
+                key = (slot, cj)
+                if slot in source_slots:
+                    cost, ent = self._start(cj, cs, with_internal)
+                    dist[key] = cost
+                    entry[key] = ent
+                    parent[key] = None
+                for pred in sg.predecessors(slot):
+                    for ci in candidates[pred]:
+                        pkey = (pred, ci)
+                        if pkey not in dist:
+                            continue
+                        if ci == cj:
+                            cost = dist[pkey]
+                            ent = entry[pkey]
+                        else:
+                            cost = dist[pkey] + hfc.external_estimate(ci, cj)
+                            if with_internal:
+                                # The back-tracking step: look up through which
+                                # border this label entered ci, and charge the
+                                # internal segment to ci's exit border.
+                                cost += self._internal(
+                                    entry[pkey], hfc.border(ci, cj)
+                                )
+                            ent = hfc.border(cj, ci)
+                        if key not in dist or cost < dist[key]:
+                            dist[key] = cost
+                            entry[key] = ent
+                            parent[key] = pkey
+
+        best_key: Optional[Tuple[SlotId, ClusterId]] = None
+        best_total = float("inf")
+        for slot in sg.sink_slots():
+            for ci in candidates[slot]:
+                key = (slot, ci)
+                if key not in dist:
+                    continue
+                total = dist[key] + self._tail(
+                    ci, entry[key], cd, request.destination_proxy, with_internal
+                )
+                if total < best_total:
+                    best_total = total
+                    best_key = key
+        if best_key is None or best_total == float("inf"):
+            raise NoFeasiblePathError(
+                "no cluster-level configuration satisfies the request"
+            )
+        assignment: List[Tuple[SlotId, ClusterId]] = []
+        node: Optional[Tuple[SlotId, ClusterId]] = best_key
+        while node is not None:
+            assignment.append(node)
+            node = parent[node]
+        assignment.reverse()
+        return best_total, assignment
+
+    # exact DP over (slot, cluster, entry border) -------------------------------
+
+    def _solve_exact(
+        self,
+        request: ServiceRequest,
+        sg: ServiceGraph,
+        candidates: Dict[SlotId, List[ClusterId]],
+        cs: ClusterId,
+        cd: ClusterId,
+    ) -> Tuple[float, List[Tuple[SlotId, ClusterId]]]:
+        hfc = self.hfc
+        State = Tuple[SlotId, ClusterId, _Entry]
+        dist: Dict[State, float] = {}
+        parent: Dict[State, Optional[State]] = {}
+
+        source_slots = set(sg.source_slots())
+        for slot in sg.topological_order():
+            for cj in candidates[slot]:
+                if slot in source_slots:
+                    cost, ent = self._start(cj, cs, True)
+                    state = (slot, cj, ent)
+                    if state not in dist or cost < dist[state]:
+                        dist[state] = cost
+                        parent[state] = None
+                for pred in sg.predecessors(slot):
+                    for ci in candidates[pred]:
+                        for pstate in [
+                            s for s in dist if s[0] == pred and s[1] == ci
+                        ]:
+                            _, _, ent_i = pstate
+                            if ci == cj:
+                                cost = dist[pstate]
+                                state = (slot, cj, ent_i)
+                            else:
+                                cost = (
+                                    dist[pstate]
+                                    + self._internal(ent_i, hfc.border(ci, cj))
+                                    + hfc.external_estimate(ci, cj)
+                                )
+                                state = (slot, cj, hfc.border(cj, ci))
+                            if state not in dist or cost < dist[state]:
+                                dist[state] = cost
+                                parent[state] = pstate
+
+        best_state: Optional[State] = None
+        best_total = float("inf")
+        for slot in sg.sink_slots():
+            for state, cost in dist.items():
+                if state[0] != slot:
+                    continue
+                total = cost + self._tail(
+                    state[1], state[2], cd, request.destination_proxy, True
+                )
+                if total < best_total:
+                    best_total = total
+                    best_state = state
+        if best_state is None or best_total == float("inf"):
+            raise NoFeasiblePathError(
+                "no cluster-level configuration satisfies the request"
+            )
+        assignment: List[Tuple[SlotId, ClusterId]] = []
+        node: Optional[State] = best_state
+        while node is not None:
+            assignment.append((node[0], node[1]))
+            node = parent[node]
+        assignment.reverse()
+        return best_total, assignment
+
+    # -- step 3: divide ---------------------------------------------------------
+
+    def dissect(
+        self, request: ServiceRequest, csp: ClusterServicePath
+    ) -> List[ChildRequest]:
+        """Split the request along the CSP into per-cluster child requests."""
+        hfc = self.hfc
+        sg = request.service_graph
+        runs: List[Tuple[ClusterId, List[SlotId]]] = []
+        for slot, cluster in csp.assignment:
+            if runs and runs[-1][0] == cluster:
+                runs[-1][1].append(slot)
+            else:
+                runs.append((cluster, [slot]))
+        if not runs or runs[0][0] != csp.source_cluster:
+            runs.insert(0, (csp.source_cluster, []))
+        if runs[-1][0] != csp.destination_cluster:
+            runs.append((csp.destination_cluster, []))
+
+        children: List[ChildRequest] = []
+        for k, (cluster, slots) in enumerate(runs):
+            source = (
+                request.source_proxy
+                if k == 0
+                else hfc.border(cluster, runs[k - 1][0])
+            )
+            destination = (
+                request.destination_proxy
+                if k == len(runs) - 1
+                else hfc.border(cluster, runs[k + 1][0])
+            )
+            children.append(
+                ChildRequest(
+                    cluster=cluster,
+                    slots=tuple(slots),
+                    services=tuple(sg.service_of(s) for s in slots),
+                    source_proxy=source,
+                    destination_proxy=destination,
+                )
+            )
+        return children
+
+    # -- step 4: conquer -----------------------------------------------------------
+
+    def solve_child(
+        self, request: ServiceRequest, child: ChildRequest
+    ) -> ServicePath:
+        """Optimal intra-cluster resolution of one child request ([11] flat).
+
+        An empty child (no services) degenerates to the direct intra-cluster
+        link between its endpoints.
+        """
+        if not child.slots:
+            hops = _merge_consecutive(
+                [Hop(proxy=child.source_proxy), Hop(proxy=child.destination_proxy)]
+            )
+            return ServicePath(hops=tuple(hops))
+        sg = request.service_graph
+        # Preserve original slot ids so the composed path validates against
+        # the original service graph.
+        sub_sg = ServiceGraph(
+            services={slot: sg.service_of(slot) for slot in child.slots},
+            edges=frozenset(zip(child.slots, child.slots[1:])),
+        )
+        members = set(self.hfc.members(child.cluster))
+        router = FlatRouter(
+            self.hfc.overlay,
+            self._provider,
+            candidate_filter=members.__contains__,
+            use_numpy=self.use_numpy,
+            name=f"intra-cluster-{child.cluster}",
+        )
+        sub_request = ServiceRequest(
+            source_proxy=child.source_proxy,
+            service_graph=sub_sg,
+            destination_proxy=child.destination_proxy,
+        )
+        try:
+            return router.route(sub_request)
+        except NoFeasiblePathError:
+            raise NoFeasiblePathError(
+                f"cluster {child.cluster} cannot serve child request "
+                f"{child.services} (stale aggregate state?)"
+            ) from None
+
+    def compose(
+        self, request: ServiceRequest, child_paths: Sequence[ServicePath]
+    ) -> ServicePath:
+        """Concatenate child paths into the final service path."""
+        hops: List[Hop] = []
+        for child_path in child_paths:
+            hops.extend(child_path.hops)
+        merged = _merge_consecutive(hops)
+        if not merged:
+            raise RoutingError("composition produced an empty path")
+        return ServicePath(hops=tuple(merged))

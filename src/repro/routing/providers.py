@@ -1,0 +1,92 @@
+"""Distance providers: the pluggable metric behind the service-DAG solver.
+
+Every routing strategy is "service-DAG shortest paths over *some* distance",
+and the distances differ per strategy:
+
+* flat full-state routing over coordinates → :class:`CoordinateProvider`;
+* an oracle upper bound over true delays → :class:`TrueDelayProvider`;
+* mesh routing over mesh shortest-path distances, or HFC full-state routing
+  over HFC-overlay distances → :class:`MatrixProvider`.
+
+A provider answers single-pair queries and (for the vectorised solver) dense
+rectangular blocks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.coords.space import CoordinateSpace
+from repro.overlay.network import OverlayNetwork, ProxyId
+from repro.util.errors import RoutingError
+
+
+class DistanceProvider(ABC):
+    """Distance oracle between overlay proxies."""
+
+    @abstractmethod
+    def pair(self, u: ProxyId, v: ProxyId) -> float:
+        """Distance from *u* to *v*."""
+
+    @abstractmethod
+    def block(self, us: Sequence[ProxyId], vs: Sequence[ProxyId]) -> np.ndarray:
+        """Dense ``(len(us), len(vs))`` distance block."""
+
+
+class CoordinateProvider(DistanceProvider):
+    """Geometric distances in a coordinate space (estimate-based routing)."""
+
+    def __init__(self, space: CoordinateSpace) -> None:
+        self.space = space
+
+    def pair(self, u: ProxyId, v: ProxyId) -> float:
+        return self.space.distance(u, v)
+
+    def block(self, us: Sequence[ProxyId], vs: Sequence[ProxyId]) -> np.ndarray:
+        pts_u = self.space.array(us)
+        pts_v = self.space.array(vs)
+        diff = pts_u[:, None, :] - pts_v[None, :, :]
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+class TrueDelayProvider(DistanceProvider):
+    """Ground-truth physical delays (an oracle router for bounds/tests)."""
+
+    def __init__(self, overlay: OverlayNetwork) -> None:
+        self.overlay = overlay
+
+    def pair(self, u: ProxyId, v: ProxyId) -> float:
+        return self.overlay.true_delay(u, v)
+
+    def block(self, us: Sequence[ProxyId], vs: Sequence[ProxyId]) -> np.ndarray:
+        matrix = self.overlay.true_delay_matrix()
+        ui = [self.overlay.index_of(u) for u in us]
+        vi = [self.overlay.index_of(v) for v in vs]
+        return matrix[np.ix_(ui, vi)]
+
+
+class MatrixProvider(DistanceProvider):
+    """Distances read from a precomputed matrix (mesh APSP, HFC overlay)."""
+
+    def __init__(self, index: Dict[ProxyId, int], matrix: np.ndarray) -> None:
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise RoutingError(f"matrix must be square, got shape {matrix.shape}")
+        self.index = index
+        self.matrix = matrix
+
+    def _i(self, p: ProxyId) -> int:
+        try:
+            return self.index[p]
+        except KeyError:
+            raise RoutingError(f"proxy {p!r} not covered by this provider") from None
+
+    def pair(self, u: ProxyId, v: ProxyId) -> float:
+        return float(self.matrix[self._i(u), self._i(v)])
+
+    def block(self, us: Sequence[ProxyId], vs: Sequence[ProxyId]) -> np.ndarray:
+        ui = [self._i(u) for u in us]
+        vi = [self._i(v) for v in vs]
+        return self.matrix[np.ix_(ui, vi)]

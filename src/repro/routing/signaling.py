@@ -1,0 +1,174 @@
+"""Control-plane signaling for hierarchical route resolution.
+
+The paper's divide-and-conquer (Section 5.1 steps 3-4) is a distributed
+protocol: the destination proxy dissects the request, **distributes child
+service requests** to solver proxies inside the chosen clusters (the
+cluster's exit border — e.g. Figure 7(d) sends child 1 to C0.1 and child 2
+to C1.2 — while pd handles its own cluster), then **waits for the child
+service paths to arrive** and composes them.
+
+:class:`SignalingSimulator` replays that exchange on the discrete-event
+engine with ground-truth message latencies, measuring what single-node
+routing never pays: **path-setup latency** and **control messages**. This
+is the latency cost hierarchical routing trades against Fig 9's state
+savings; the companion bench compares it across overlay sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.netsim.eventsim import Message, Process, Simulator
+from repro.overlay.network import ProxyId
+from repro.routing.hierarchical import ChildRequest, HierarchicalRouter
+from repro.routing.path import ServicePath
+from repro.services.request import ServiceRequest
+from repro.util.errors import RoutingError
+
+
+@dataclass
+class SetupReport:
+    """Outcome of one signaled route resolution.
+
+    Attributes:
+        path: the final composed service path.
+        setup_latency: simulated time from the request reaching pd until the
+            final path is composed (child solving runs in parallel).
+        control_messages: child requests + child replies exchanged.
+        remote_children: children solved away from pd.
+    """
+
+    path: ServicePath
+    setup_latency: float
+    control_messages: int
+    remote_children: int
+
+
+def solver_for(child: ChildRequest, destination_proxy: ProxyId) -> ProxyId:
+    """The proxy that resolves *child* (paper Figure 7(d)'s assignment).
+
+    Each child is solved by its cluster's exit border — the child's own
+    destination proxy — except the last child, whose destination is the
+    request's destination proxy pd, which solves it locally.
+    """
+    del destination_proxy  # the rule is uniform; parameter kept for clarity
+    return child.destination_proxy
+
+
+class _Coordinator(Process):
+    """pd: dissects, distributes child requests, composes replies."""
+
+    def __init__(
+        self,
+        simulator_owner: "SignalingSimulator",
+        request: ServiceRequest,
+    ) -> None:
+        super().__init__(address=("coordinator", request.destination_proxy))
+        self.owner = simulator_owner
+        self.request = request
+        self.pending: Dict[int, Optional[ServicePath]] = {}
+        self.children: List[ChildRequest] = []
+        self.finished_at: Optional[float] = None
+        self.control_messages = 0
+        self.remote_children = 0
+
+    def start(self) -> None:
+        router = self.owner.router
+        csp = router.cluster_level_path(self.request)
+        self.children = router.dissect(self.request, csp)
+        pd = self.request.destination_proxy
+        for index, child in enumerate(self.children):
+            self.pending[index] = None
+            solver = solver_for(child, pd)
+            if solver == pd:
+                # solved locally, no signaling
+                self._store(index, router.solve_child(self.request, child))
+                continue
+            self.remote_children += 1
+            self.control_messages += 1
+            self.send(
+                ("solver", solver),
+                "child_request",
+                (index, child),
+                delay=self.owner.delay(pd, solver),
+                size=len(child.slots) + 1,
+            )
+        self._maybe_finish()
+
+    def receive(self, message: Message) -> None:
+        index, child_path = message.payload
+        self.control_messages += 1
+        self._store(index, child_path)
+        self._maybe_finish()
+
+    def _store(self, index: int, child_path: ServicePath) -> None:
+        self.pending[index] = child_path
+
+    def _maybe_finish(self) -> None:
+        if self.finished_at is not None:
+            return
+        if any(p is None for p in self.pending.values()):
+            return
+        paths = [self.pending[i] for i in sorted(self.pending)]
+        self.owner.final_path = self.owner.router.compose(self.request, paths)
+        assert self.simulator is not None
+        self.finished_at = self.simulator.now
+
+
+class _Solver(Process):
+    """A border proxy resolving child requests for its cluster."""
+
+    def __init__(self, owner: "SignalingSimulator", proxy: ProxyId) -> None:
+        super().__init__(address=("solver", proxy))
+        self.owner = owner
+        self.proxy = proxy
+
+    def receive(self, message: Message) -> None:
+        index, child = message.payload
+        child_path = self.owner.router.solve_child(self.owner.request, child)
+        coordinator = ("coordinator", self.owner.request.destination_proxy)
+        self.send(
+            coordinator,
+            "child_path",
+            (index, child_path),
+            delay=self.owner.delay(self.proxy, self.owner.request.destination_proxy),
+            size=len(child_path.hops),
+        )
+
+
+class SignalingSimulator:
+    """Resolve requests through the simulated divide-and-conquer exchange."""
+
+    def __init__(self, router: HierarchicalRouter) -> None:
+        self.router = router
+        self.request: Optional[ServiceRequest] = None
+        self.final_path: Optional[ServicePath] = None
+
+    def delay(self, u: ProxyId, v: ProxyId) -> float:
+        """Control-message latency between two proxies."""
+        return self.router.hfc.overlay.true_delay(u, v)
+
+    def resolve(self, request: ServiceRequest) -> SetupReport:
+        """Run the signaled resolution of *request*; returns the report.
+
+        The composed path is identical to
+        :meth:`HierarchicalRouter.route` — signaling changes *when* the
+        path is known, not *which* path is found; tests pin that equality.
+        """
+        self.request = request
+        self.final_path = None
+        sim = Simulator()
+        coordinator = _Coordinator(self, request)
+        sim.register(coordinator)
+        for proxy in self.router.hfc.overlay.proxies:
+            sim.register(_Solver(self, proxy))
+        sim.run_all()
+        if self.final_path is None or coordinator.finished_at is None:
+            raise RoutingError("signaled resolution did not complete")
+        return SetupReport(
+            path=self.final_path,
+            setup_latency=coordinator.finished_at,
+            control_messages=coordinator.control_messages,
+            remote_children=coordinator.remote_children,
+        )

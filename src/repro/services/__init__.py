@@ -1,0 +1,35 @@
+"""Composable-services model: catalogs, service graphs, requests, placement."""
+
+from repro.services.catalog import (
+    ServiceCatalog,
+    ServiceName,
+    generic_catalog,
+    multimedia_catalog,
+    scaled_catalog,
+    web_catalog,
+)
+from repro.services.graph import ServiceGraph, branching_graph, linear_graph
+from repro.services.placement import (
+    Placement,
+    aggregate_capability,
+    install_services,
+    providers_of,
+)
+from repro.services.request import ServiceRequest
+
+__all__ = [
+    "Placement",
+    "ServiceCatalog",
+    "ServiceGraph",
+    "ServiceName",
+    "ServiceRequest",
+    "aggregate_capability",
+    "branching_graph",
+    "generic_catalog",
+    "install_services",
+    "linear_graph",
+    "multimedia_catalog",
+    "providers_of",
+    "scaled_catalog",
+    "web_catalog",
+]

@@ -1,0 +1,104 @@
+"""Service names and catalogs (paper Section 2.1).
+
+Services are uniquely named middleware/application functions (watermarking,
+transcoding, translation, ...). The paper's state aggregation relies only on
+unique names and set union, so a service is represented by its name string
+and a catalog is an ordered collection of names.
+
+The catalog also carries optional human-readable descriptions so the example
+applications can mirror the paper's two motivating scenarios (MPEG
+customization and web-document processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.util.errors import ServiceModelError
+
+ServiceName = str
+
+
+@dataclass(frozen=True)
+class ServiceCatalog:
+    """An ordered, duplicate-free collection of service names."""
+
+    names: Sequence[ServiceName]
+    descriptions: Dict[ServiceName, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ServiceModelError("catalog must contain at least one service")
+        if len(set(self.names)) != len(self.names):
+            raise ServiceModelError("catalog contains duplicate service names")
+        unknown = set(self.descriptions) - set(self.names)
+        if unknown:
+            raise ServiceModelError(f"descriptions for unknown services: {sorted(unknown)}")
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self) -> Iterator[ServiceName]:
+        return iter(self.names)
+
+    def __contains__(self, name: ServiceName) -> bool:
+        return name in set(self.names)
+
+    def describe(self, name: ServiceName) -> str:
+        """Human-readable description of *name* (falls back to the name)."""
+        if name not in set(self.names):
+            raise ServiceModelError(f"unknown service {name!r}")
+        return self.descriptions.get(name, name)
+
+
+def generic_catalog(size: int, prefix: str = "s") -> ServiceCatalog:
+    """A catalog of *size* generically named services: s0, s1, ..."""
+    if size < 1:
+        raise ServiceModelError(f"catalog size must be >= 1, got {size}")
+    return ServiceCatalog(names=[f"{prefix}{i}" for i in range(size)])
+
+
+def multimedia_catalog() -> ServiceCatalog:
+    """The paper's first motivating scenario: MPEG stream customization."""
+    descriptions = {
+        "watermark": "embed a copyright watermark",
+        "mpeg_to_h261": "transcode MPEG to H.261 to reduce bandwidth",
+        "mix_audio": "merge a background-music track into the stream",
+        "compress": "recompress for lower bandwidth",
+        "mpeg2jpeg": "transcode MPEG frames to JPEG",
+        "jpeg2h261": "transcode JPEG frames to H.261",
+        "resize": "downscale the video frame size",
+        "caption": "burn subtitles into the frames",
+    }
+    return ServiceCatalog(names=list(descriptions), descriptions=descriptions)
+
+
+def web_catalog() -> ServiceCatalog:
+    """The paper's second motivating scenario: web-document customization."""
+    descriptions = {
+        "translate": "translate the document to another language",
+        "merge": "merge with a document from another machine",
+        "format": "re-format for the client device",
+        "summarize": "produce an abstract of the document",
+        "compress_doc": "compress the document for transfer",
+        "render_thumbnails": "render image thumbnails",
+    }
+    return ServiceCatalog(names=list(descriptions), descriptions=descriptions)
+
+
+def scaled_catalog(proxy_count: int, services_per_proxy_mean: float = 7.0,
+                   instances_per_service: float = 8.0) -> ServiceCatalog:
+    """A generically named catalog sized so each service has a bounded
+    number of instances.
+
+    With ``n`` proxies each installing ~``services_per_proxy_mean`` services,
+    a catalog of ``n * mean / instances_per_service`` names yields about
+    *instances_per_service* replicas per service — keeping service-DAG sizes
+    stable as the overlay grows, which is how the paper's request mix stays
+    satisfiable at every scale.
+    """
+    if proxy_count < 1:
+        raise ServiceModelError("proxy_count must be >= 1")
+    size = max(4, round(proxy_count * services_per_proxy_mean / instances_per_service))
+    return generic_catalog(size)

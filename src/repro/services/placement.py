@@ -1,0 +1,87 @@
+"""Static service installation on proxies (paper Section 2.2, Table 1).
+
+The paper assumes no active services: each proxy carries a fixed set of
+services installed ahead of time, which makes proxies functionally
+heterogeneous. Table 1 installs between 4 and 10 services per proxy; this
+module reproduces that and guarantees the whole catalog stays available
+somewhere (so the workload generator can always build satisfiable requests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Set
+
+from repro.services.catalog import ServiceCatalog, ServiceName
+from repro.util.errors import ServiceModelError
+from repro.util.rng import RngLike, ensure_rng
+
+ProxyId = Hashable
+Placement = Dict[ProxyId, FrozenSet[ServiceName]]
+
+
+def install_services(
+    proxies: Sequence[ProxyId],
+    catalog: ServiceCatalog,
+    *,
+    min_per_proxy: int = 4,
+    max_per_proxy: int = 10,
+    seed: RngLike = None,
+) -> Placement:
+    """Install a uniform-random number of catalog services on each proxy.
+
+    Each proxy receives ``U[min_per_proxy, max_per_proxy]`` *distinct*
+    services drawn uniformly from the catalog. Afterwards, any catalog
+    service that no proxy received is force-installed on a random proxy so
+    the system-wide union always equals the catalog (the paper's request
+    generator implicitly assumes every requested service exists somewhere).
+
+    Returns ``{proxy: frozenset(service names)}``.
+    """
+    if not proxies:
+        raise ServiceModelError("cannot install services on zero proxies")
+    if not 1 <= min_per_proxy <= max_per_proxy:
+        raise ServiceModelError(
+            f"invalid per-proxy bounds [{min_per_proxy}, {max_per_proxy}]"
+        )
+    if max_per_proxy > len(catalog):
+        raise ServiceModelError(
+            f"max_per_proxy={max_per_proxy} exceeds catalog size {len(catalog)}"
+        )
+    rng = ensure_rng(seed)
+    names = list(catalog.names)
+    chosen: Dict[ProxyId, Set[ServiceName]] = {}
+    for proxy in proxies:
+        count = rng.randint(min_per_proxy, max_per_proxy)
+        chosen[proxy] = set(rng.sample(names, count))
+
+    installed_union: Set[ServiceName] = set()
+    for services in chosen.values():
+        installed_union |= services
+    missing = [n for n in names if n not in installed_union]
+    proxy_list = list(proxies)
+    for name in missing:
+        chosen[rng.choice(proxy_list)].add(name)
+
+    return {proxy: frozenset(services) for proxy, services in chosen.items()}
+
+
+def providers_of(placement: Placement, service: ServiceName) -> List[ProxyId]:
+    """All proxies hosting *service*, in placement order."""
+    return [proxy for proxy, services in placement.items() if service in services]
+
+
+def aggregate_capability(
+    placement: Placement, members: Sequence[ProxyId]
+) -> FrozenSet[ServiceName]:
+    """Union of the members' service sets — the paper's cluster aggregation.
+
+    This is exactly the aggregate-state rule of Section 4:
+    ``S = S_1 ∪ S_2 ∪ ... ∪ S_m``.
+    """
+    union: Set[ServiceName] = set()
+    for proxy in members:
+        try:
+            union |= placement[proxy]
+        except KeyError:
+            raise ServiceModelError(f"proxy {proxy!r} has no placement entry") from None
+    return frozenset(union)

@@ -1,0 +1,50 @@
+"""Service requests: source proxy + service graph + destination proxy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.services.graph import ServiceGraph
+from repro.util.errors import ServiceModelError
+
+ProxyId = Hashable
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """A client's request for a composed service path (paper Section 2.2).
+
+    The request asks for a mapping of the service graph's slots onto proxies
+    so that data flowing from *source_proxy* to *destination_proxy* is
+    processed by a feasible configuration of *service_graph* along the way.
+
+    Attributes:
+        source_proxy: where the raw data originates (e.g. the media server's
+            proxy).
+        service_graph: the dependency DAG of requested services.
+        destination_proxy: the proxy feeding the client.
+    """
+
+    source_proxy: ProxyId
+    service_graph: ServiceGraph
+    destination_proxy: ProxyId
+
+    def __post_init__(self) -> None:
+        if self.source_proxy is None or self.destination_proxy is None:
+            raise ServiceModelError("request endpoints must not be None")
+
+    @property
+    def length(self) -> int:
+        """Number of service slots requested."""
+        return self.service_graph.slot_count
+
+    def __repr__(self) -> str:
+        names = [
+            self.service_graph.service_of(s)
+            for s in self.service_graph.topological_order()
+        ]
+        return (
+            f"ServiceRequest({self.source_proxy!r} -> "
+            f"{names} -> {self.destination_proxy!r})"
+        )

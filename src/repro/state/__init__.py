@@ -1,0 +1,23 @@
+"""State tables, the distribution protocol, and overhead accounting."""
+
+from repro.state.overhead import (
+    coordinates_node_states,
+    flat_node_states,
+    mean_coordinates_overhead,
+    mean_service_overhead,
+    service_node_states,
+)
+from repro.state.protocol import ProtocolReport, StateDistributionProtocol
+from repro.state.tables import ProxyState, ServiceCapabilityTable
+
+__all__ = [
+    "ProtocolReport",
+    "ProxyState",
+    "ServiceCapabilityTable",
+    "StateDistributionProtocol",
+    "coordinates_node_states",
+    "flat_node_states",
+    "mean_coordinates_overhead",
+    "mean_service_overhead",
+    "service_node_states",
+]

@@ -1,0 +1,318 @@
+"""The hierarchical state-distribution protocol (paper Section 4), simulated.
+
+Runs the paper's two message flows on the discrete-event engine:
+
+1. **local state**: every proxy periodically sends the names of its own
+   services to every member of its cluster; receivers update SCT_P.
+2. **aggregate state**: every border proxy periodically unions its cluster's
+   SCT_P into an aggregate, sends it over its external link(s) to the
+   neighbouring border proxies; a border receiving a remote aggregate
+   updates its SCT_C and forwards it into its own cluster; members update
+   their SCT_C.
+
+Message latency is the ground-truth delay between the proxies involved, so
+convergence time reflects the real overlay geometry. Each message carries an
+abstract size (number of service names), feeding the protocol-cost bench.
+
+Forwarding is unconditional: a border re-floods every received remote
+aggregate into its own cluster, exactly as the paper's rule reads ("is
+responsible for forwarding it to other proxies of its own cluster"). This
+costs one intra-cluster flood per neighbour border per aggregate period at
+steady state, but it makes the soft-state flow self-healing — a lost
+forward is repaired one period later — which the loss-rate tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.netsim.eventsim import Message, Process, Simulator
+from repro.overlay.hfc import HFCTopology
+from repro.overlay.network import ProxyId
+from repro.services.catalog import ServiceName
+from repro.state.tables import ProxyState, ServiceCapabilityTable
+from repro.util.errors import StateError
+from repro.util.rng import RngLike, ensure_rng
+
+ClusterId = int
+
+
+@dataclass
+class ProtocolReport:
+    """Cost and convergence summary of a protocol run.
+
+    Attributes:
+        converged_at: simulated time at which every proxy's tables matched
+            ground truth (None if the run ended first).
+        messages_by_kind: delivered message counts per kind.
+        total_messages: all delivered messages.
+        total_size: sum of message sizes (service-name count proxy).
+    """
+
+    converged_at: Optional[float]
+    messages_by_kind: Dict[str, int]
+    total_messages: int
+    total_size: int
+
+
+class _ProxyAgent(Process):
+    """One proxy participating in the state-distribution protocol."""
+
+    def __init__(
+        self,
+        proxy: ProxyId,
+        protocol: "StateDistributionProtocol",
+    ) -> None:
+        super().__init__(address=proxy)
+        self.proxy = proxy
+        self.protocol = protocol
+        self.state = protocol.states[proxy]
+
+    def send(self, recipient, kind, payload, delay, size=1) -> None:
+        # model in-transit loss: a dropped message never reaches the heap
+        if self.protocol.should_drop():
+            return
+        super().send(recipient, kind, payload, delay, size)
+
+    # -- behaviour ------------------------------------------------------------
+
+    def start(self) -> None:
+        sim = self.simulator
+        assert sim is not None
+        rng = self.protocol._rng
+        jitter = rng.uniform(0.0, self.protocol.local_period * 0.2)
+        sim.schedule_every(
+            self.protocol.local_period, self._broadcast_local, first_delay=jitter
+        )
+        if self.protocol.border_peers.get(self.proxy):
+            agg_jitter = rng.uniform(0.0, self.protocol.aggregate_period * 0.2)
+            sim.schedule_every(
+                self.protocol.aggregate_period,
+                self._broadcast_aggregate,
+                # The first aggregate only makes sense once local state had a
+                # chance to spread; start after one local period.
+                first_delay=self.protocol.local_period + agg_jitter,
+            )
+
+    def _broadcast_local(self) -> None:
+        services = self.state.local_capability()
+        for member in self.protocol.cluster_members[self.state.cluster_id]:
+            if member == self.proxy:
+                continue
+            self.send(
+                member,
+                "local_state",
+                (self.proxy, services),
+                delay=self.protocol.delay(self.proxy, member),
+                size=len(services),
+            )
+
+    def _broadcast_aggregate(self) -> None:
+        aggregate = self.state.aggregate_own_cluster()
+        for peer in self.protocol.border_peers[self.proxy]:
+            self.send(
+                peer,
+                "aggregate_state",
+                (self.state.cluster_id, aggregate),
+                delay=self.protocol.delay(self.proxy, peer),
+                size=len(aggregate),
+            )
+
+    def receive(self, message: Message) -> None:
+        sim = self.simulator
+        assert sim is not None
+        if message.kind == "local_state":
+            sender, services = message.payload
+            self.state.sct_p.update(sender, services, now=sim.now)
+            self.state.sct_c.update(
+                self.state.cluster_id, self.state.aggregate_own_cluster(), now=sim.now
+            )
+        elif message.kind in ("aggregate_state", "aggregate_forward"):
+            cluster, aggregate = message.payload
+            self.state.sct_c.update(cluster, aggregate, now=sim.now)
+            # Forward every received aggregate into the own cluster (the
+            # paper's rule). Unconditional forwarding makes the soft-state
+            # flow self-healing: a lost forward is repaired one aggregate
+            # period later when the peer border re-sends.
+            if message.kind == "aggregate_state":
+                for member in self.protocol.cluster_members[self.state.cluster_id]:
+                    if member == self.proxy:
+                        continue
+                    self.send(
+                        member,
+                        "aggregate_forward",
+                        (cluster, aggregate),
+                        delay=self.protocol.delay(self.proxy, member),
+                        size=len(aggregate),
+                    )
+        else:
+            raise StateError(f"unknown message kind {message.kind!r}")
+
+
+class StateDistributionProtocol:
+    """Drives the Section-4 protocol over an HFC topology."""
+
+    def __init__(
+        self,
+        hfc: HFCTopology,
+        *,
+        local_period: float = 500.0,
+        aggregate_period: float = 1000.0,
+        loss_rate: float = 0.0,
+        seed: RngLike = None,
+    ) -> None:
+        if local_period <= 0 or aggregate_period <= 0:
+            raise StateError("protocol periods must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise StateError("loss_rate must be in [0, 1)")
+        self.hfc = hfc
+        self.local_period = local_period
+        self.aggregate_period = aggregate_period
+        #: probability that any single protocol message is silently dropped;
+        #: the periodic soft-state design must converge regardless
+        self.loss_rate = loss_rate
+        self.messages_dropped = 0
+        self._rng = ensure_rng(seed)
+        self.sim = Simulator()
+
+        self.cluster_members: Dict[ClusterId, List[ProxyId]] = {
+            cid: list(hfc.members(cid)) for cid in range(hfc.cluster_count)
+        }
+        # border proxy -> the remote border proxies it exchanges aggregates with
+        self.border_peers: Dict[ProxyId, List[ProxyId]] = {
+            p: [] for p in hfc.overlay.proxies
+        }
+        for (i, j), border in hfc.borders.items():
+            self.border_peers[border].append(hfc.borders[(j, i)])
+
+        # Initial knowledge: every proxy knows its own services (and therefore
+        # a provisional aggregate of its own cluster = just itself).
+        self.states: Dict[ProxyId, ProxyState] = {}
+        for proxy in hfc.overlay.proxies:
+            state = ProxyState(proxy=proxy, cluster_id=hfc.cluster_of(proxy))
+            state.sct_p.update(proxy, hfc.overlay.placement[proxy], now=0.0)
+            state.sct_c.update(state.cluster_id, hfc.overlay.placement[proxy], now=0.0)
+            self.states[proxy] = state
+
+        self._message_counts: Dict[str, int] = {}
+        for proxy in hfc.overlay.proxies:
+            self.sim.register(_CountingAgent(proxy, self))
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def delay(self, u: ProxyId, v: ProxyId) -> float:
+        """Message latency between two proxies (ground-truth delay)."""
+        return self.hfc.overlay.true_delay(u, v)
+
+    def should_drop(self) -> bool:
+        """Bernoulli(loss_rate) draw; counts drops for reporting."""
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.messages_dropped += 1
+            return True
+        return False
+
+    def _count(self, kind: str) -> None:
+        self._message_counts[kind] = self._message_counts.get(kind, 0) + 1
+
+    # -- dynamics ----------------------------------------------------------------
+
+    def update_local_services(self, proxy: ProxyId, services) -> None:
+        """Change the services installed on *proxy* mid-run.
+
+        Updates the ground truth (the overlay placement) and the proxy's own
+        SCT_P entry; the change then propagates through the normal periodic
+        local-state and aggregate-state flows — re-convergence time is the
+        interesting measurement.
+        """
+        if proxy not in self.states:
+            raise StateError(f"unknown proxy {proxy!r}")
+        services = frozenset(services)
+        self.hfc.overlay.placement[proxy] = services
+        state = self.states[proxy]
+        state.sct_p.update(proxy, services, now=self.sim.now)
+        state.sct_c.update(
+            state.cluster_id, state.aggregate_own_cluster(), now=self.sim.now
+        )
+
+    # -- ground truth and convergence -----------------------------------------------
+
+    def ground_truth_sct_p(self, proxy: ProxyId) -> Dict[ProxyId, FrozenSet[ServiceName]]:
+        """What *proxy*'s SCT_P should contain once converged."""
+        cid = self.hfc.cluster_of(proxy)
+        placement = self.hfc.overlay.placement
+        return {m: placement[m] for m in self.cluster_members[cid]}
+
+    def ground_truth_sct_c(self) -> Dict[ClusterId, FrozenSet[ServiceName]]:
+        """What every SCT_C should contain once converged."""
+        placement = self.hfc.overlay.placement
+        result: Dict[ClusterId, FrozenSet[ServiceName]] = {}
+        for cid, members in self.cluster_members.items():
+            union: set = set()
+            for m in members:
+                union |= placement[m]
+            result[cid] = frozenset(union)
+        return result
+
+    def converged(self) -> bool:
+        """True if every proxy's SCT_P and SCT_C match ground truth."""
+        truth_c = self.ground_truth_sct_c()
+        for proxy, state in self.states.items():
+            if state.sct_p.as_dict() != self.ground_truth_sct_p(proxy):
+                return False
+            if state.sct_c.as_dict() != truth_c:
+                return False
+        return True
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        max_time: float = 20000.0,
+        *,
+        check_interval: float = 250.0,
+        stop_on_convergence: bool = True,
+    ) -> ProtocolReport:
+        """Run the protocol until convergence (or *max_time*).
+
+        Convergence is checked every *check_interval* simulated units; the
+        reported ``converged_at`` is therefore an upper bound within one
+        interval of the true instant.
+        """
+        converged_at: Optional[float] = None
+        t = 0.0
+        while t < max_time:
+            t = min(t + check_interval, max_time)
+            self.sim.run_until(t)
+            if converged_at is None and self.converged():
+                converged_at = self.sim.now
+                if stop_on_convergence:
+                    break
+        return ProtocolReport(
+            converged_at=converged_at,
+            messages_by_kind=dict(self._message_counts),
+            total_messages=self.sim.messages_delivered,
+            total_size=self.sim.bytes_delivered,
+        )
+
+    def capabilities_for_routing(self) -> Dict[ClusterId, FrozenSet[ServiceName]]:
+        """A destination proxy's current SCT_C view, usable by the router.
+
+        Picks an arbitrary fixed proxy (the first overlay proxy) as the
+        observer; useful for wiring possibly-stale protocol state into
+        :class:`~repro.routing.hierarchical.HierarchicalRouter`.
+        """
+        observer = self.states[self.hfc.overlay.proxies[0]]
+        return {
+            cid: observer.sct_c.services_of(cid)
+            for cid in range(self.hfc.cluster_count)
+            if cid in observer.sct_c
+        }
+
+
+class _CountingAgent(_ProxyAgent):
+    """Proxy agent that also feeds the protocol's per-kind message counter."""
+
+    def receive(self, message: Message) -> None:
+        self.protocol._count(message.kind)
+        super().receive(message)

@@ -1,0 +1,103 @@
+"""Service Capability Tables (paper Section 4).
+
+Each proxy maintains two tables:
+
+* **SCT_P** — per-proxy service capability of every member of its own
+  cluster (full local state);
+* **SCT_C** — aggregate service capability (set union) of every cluster in
+  the system.
+
+The tables record an update timestamp per entry so experiments can measure
+staleness and convergence of the distribution protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Optional
+
+from repro.services.catalog import ServiceName
+from repro.util.errors import StateError
+
+ProxyId = Hashable
+ClusterId = int
+
+
+@dataclass
+class _Entry:
+    services: FrozenSet[ServiceName]
+    updated_at: float
+
+
+@dataclass
+class ServiceCapabilityTable:
+    """A keyed table of service-capability sets with update timestamps."""
+
+    _entries: Dict[Hashable, _Entry] = field(default_factory=dict)
+
+    def update(
+        self, key: Hashable, services: FrozenSet[ServiceName], now: float = 0.0
+    ) -> bool:
+        """Record *services* for *key*; returns True if the content changed."""
+        previous = self._entries.get(key)
+        changed = previous is None or previous.services != services
+        self._entries[key] = _Entry(services=frozenset(services), updated_at=now)
+        return changed
+
+    def remove(self, key: Hashable) -> None:
+        """Drop *key*'s entry (no-op if absent)."""
+        self._entries.pop(key, None)
+
+    def services_of(self, key: Hashable) -> FrozenSet[ServiceName]:
+        """The recorded capability set for *key*."""
+        try:
+            return self._entries[key].services
+        except KeyError:
+            raise StateError(f"no capability entry for {key!r}") from None
+
+    def updated_at(self, key: Hashable) -> float:
+        """When *key*'s entry was last written."""
+        try:
+            return self._entries[key].updated_at
+        except KeyError:
+            raise StateError(f"no capability entry for {key!r}") from None
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self):
+        """All keys currently present."""
+        return self._entries.keys()
+
+    def as_dict(self) -> Dict[Hashable, FrozenSet[ServiceName]]:
+        """Snapshot of the table content (keys -> capability sets)."""
+        return {k: e.services for k, e in self._entries.items()}
+
+
+@dataclass
+class ProxyState:
+    """Everything one proxy knows: its SCT_P, SCT_C, and topology info.
+
+    ``cluster_id`` and the membership/border information correspond to what
+    the elected proxy P distributes after clustering (paper Figure 4).
+    """
+
+    proxy: ProxyId
+    cluster_id: ClusterId
+    sct_p: ServiceCapabilityTable = field(default_factory=ServiceCapabilityTable)
+    sct_c: ServiceCapabilityTable = field(default_factory=ServiceCapabilityTable)
+
+    def local_capability(self) -> FrozenSet[ServiceName]:
+        """This proxy's own service set, as recorded in its SCT_P."""
+        return self.sct_p.services_of(self.proxy)
+
+    def aggregate_own_cluster(self) -> FrozenSet[ServiceName]:
+        """Union of all known member capabilities — the border proxies'
+        aggregation step (Section 4, footnote 5)."""
+        union: set = set()
+        for key in self.sct_p.keys():
+            union |= self.sct_p.services_of(key)
+        return frozenset(union)

@@ -1,0 +1,31 @@
+"""Shared plumbing: RNG handling, validation, exceptions."""
+
+from repro.util.errors import (
+    ClusteringError,
+    EmbeddingError,
+    GraphError,
+    MembershipError,
+    NoFeasiblePathError,
+    ReproError,
+    RoutingError,
+    ServiceModelError,
+    StateError,
+    TopologyError,
+)
+from repro.util.rng import RngLike, ensure_rng, spawn
+
+__all__ = [
+    "ClusteringError",
+    "EmbeddingError",
+    "GraphError",
+    "MembershipError",
+    "NoFeasiblePathError",
+    "ReproError",
+    "RngLike",
+    "RoutingError",
+    "ServiceModelError",
+    "StateError",
+    "TopologyError",
+    "ensure_rng",
+    "spawn",
+]

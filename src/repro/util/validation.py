@@ -1,0 +1,49 @@
+"""Small argument-validation helpers shared across the library.
+
+These raise :class:`ValueError`/:class:`TypeError` (standard library
+conventions) for programmer errors, reserving the :mod:`repro.util.errors`
+hierarchy for domain failures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def require_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_at_least(name: str, value: float, minimum: float) -> None:
+    """Raise ``ValueError`` unless ``value >= minimum``."""
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
+
+
+def require_non_empty(name: str, items: Sequence) -> None:
+    """Raise ``ValueError`` if *items* is empty."""
+    if len(items) == 0:
+        raise ValueError(f"{name} must not be empty")
+
+
+def require_unique(name: str, items: Iterable) -> None:
+    """Raise ``ValueError`` if *items* contains duplicates."""
+    seen = set()
+    for item in items:
+        if item in seen:
+            raise ValueError(f"{name} contains duplicate element {item!r}")
+        seen.add(item)

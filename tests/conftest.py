@@ -1,0 +1,40 @@
+"""Shared fixtures: small deterministic environments reused across tests.
+
+Session-scoped because building a framework involves the full pipeline
+(topology generation, embedding, clustering); tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FrameworkConfig, HFCFramework
+from repro.netsim import PhysicalNetwork, transit_stub
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """A 200-router transit-stub topology (seeded)."""
+    return transit_stub(200, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_physical(small_topology):
+    """Delay oracle over the small topology, mild measurement noise."""
+    return PhysicalNetwork(small_topology, noise=0.1, seed=102)
+
+
+@pytest.fixture(scope="session")
+def framework():
+    """A fully built 80-proxy HFC framework (the workhorse fixture)."""
+    return HFCFramework.build(proxy_count=80, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_framework():
+    """A 30-proxy framework for tests that iterate many requests."""
+    return HFCFramework.build(
+        proxy_count=30,
+        config=FrameworkConfig(physical_nodes=150),
+        seed=9,
+    )

@@ -1,0 +1,114 @@
+"""Tests for the CSP-caching hierarchical router."""
+
+import pytest
+
+from repro.routing import HierarchicalRouter, validate_path
+from repro.routing.cache import (
+    CachedHierarchicalRouter,
+    service_graph_signature,
+)
+from repro.services import ServiceRequest, linear_graph, branching_graph
+from repro.util.errors import NoFeasiblePathError, RoutingError
+
+
+@pytest.fixture
+def cached(framework):
+    return CachedHierarchicalRouter(framework.hfc)
+
+
+class TestSignature:
+    def test_equal_graphs_equal_signatures(self):
+        a = linear_graph(["x", "y"])
+        b = linear_graph(["x", "y"])
+        assert service_graph_signature(a) == service_graph_signature(b)
+
+    def test_different_services_differ(self):
+        assert service_graph_signature(linear_graph(["x"])) != (
+            service_graph_signature(linear_graph(["y"]))
+        )
+
+    def test_shape_matters(self):
+        linear = linear_graph(["x", "y", "z"])
+        branching = branching_graph(chains=[["x"], ["y"]], tail=["z"])
+        assert service_graph_signature(linear) != service_graph_signature(branching)
+
+
+class TestCachedRouting:
+    def test_same_results_as_uncached(self, framework, cached):
+        plain = HierarchicalRouter(framework.hfc)
+        for seed in range(10):
+            request = framework.random_request(seed=seed)
+            a = cached.route(request)
+            b = plain.route(request)
+            assert a.hops == b.hops
+
+    def test_repeat_requests_hit(self, framework, cached):
+        request = framework.random_request(seed=1)
+        cached.route(request)
+        assert cached.stats.misses == 1
+        cached.route(request)
+        cached.route(request)
+        assert cached.stats.hits == 2
+
+    def test_same_sg_different_source_in_same_cluster_hits(self, framework, cached):
+        hfc = framework.hfc
+        members = next(c for c in framework.clustering.clusters if len(c) >= 2)
+        service = next(iter(framework.overlay.placement[framework.overlay.proxies[0]]))
+        destination = next(
+            p for p in framework.overlay.proxies
+            if p not in (members[0], members[1])
+        )
+        sg = linear_graph([service])
+        cached.route(ServiceRequest(members[0], sg, destination))
+        cached.route(ServiceRequest(members[1], sg, destination))
+        assert cached.stats.hits == 1
+
+    def test_different_destination_misses(self, framework, cached):
+        proxies = framework.overlay.proxies
+        service = next(iter(framework.overlay.placement[proxies[0]]))
+        sg = linear_graph([service])
+        cached.route(ServiceRequest(proxies[1], sg, proxies[2]))
+        cached.route(ServiceRequest(proxies[1], sg, proxies[3]))
+        assert cached.stats.hits == 0
+        assert cached.stats.misses == 2
+
+    def test_paths_validate(self, framework, cached):
+        for seed in range(8):
+            request = framework.random_request(seed=seed + 40)
+            path = cached.route(request)
+            validate_path(path, request, framework.overlay)
+
+    def test_invalidate_clears(self, framework, cached):
+        request = framework.random_request(seed=2)
+        cached.route(request)
+        cached.invalidate()
+        cached.route(request)
+        assert cached.stats.misses == 2
+        assert cached.stats.invalidations == 1
+
+    def test_update_capabilities_changes_answers(self, framework, cached):
+        """After SCT_C changes, cached answers must not leak through."""
+        request = framework.random_request(seed=3)
+        cached.route(request)
+        empty = {cid: frozenset() for cid in range(framework.hfc.cluster_count)}
+        cached.update_capabilities(empty)
+        with pytest.raises(NoFeasiblePathError):
+            cached.route(request)
+
+    def test_lru_eviction(self, framework):
+        router = CachedHierarchicalRouter(framework.hfc, cache_size=2)
+        requests = [framework.random_request(seed=s) for s in range(3)]
+        for request in requests:
+            router.route(request)
+        router.route(requests[0])  # evicted by the third insert
+        assert router.stats.misses == 4
+
+    def test_invalid_cache_size(self, framework):
+        with pytest.raises(RoutingError):
+            CachedHierarchicalRouter(framework.hfc, cache_size=0)
+
+    def test_hit_rate(self, framework, cached):
+        request = framework.random_request(seed=4)
+        cached.route(request)
+        cached.route(request)
+        assert cached.stats.hit_rate == pytest.approx(0.5)

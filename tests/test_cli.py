@@ -1,0 +1,120 @@
+"""Tests for the command-line interface and JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import (
+    EnvironmentSpec,
+    run_overhead_experiment,
+    run_path_efficiency,
+)
+from repro.experiments.serialize import (
+    dump_json,
+    efficiency_to_dict,
+    overhead_to_dict,
+)
+
+TINY = EnvironmentSpec(physical_nodes=150, landmarks=10, proxies=40, clients=10)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.proxies == 100
+        assert args.seed == 7
+
+    def test_fig10_strategies_flag(self):
+        args = build_parser().parse_args(["fig10", "--strategies", "mesh,oracle"])
+        assert args.strategies == "mesh,oracle"
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--proxies", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hierarchical" in out
+        assert "oracle" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "proxies" in out
+
+    def test_fig9_with_json(self, capsys, tmp_path):
+        target = tmp_path / "fig9.json"
+        code = main([
+            "fig9", "--scale", "0.12", "--topologies", "1",
+            "--seed", "3", "--json", str(target),
+        ])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["figure"] == "9"
+        assert len(payload["panels"]["coordinates"]) == 4
+
+    def test_fig10_with_json(self, capsys, tmp_path):
+        target = tmp_path / "fig10.json"
+        code = main([
+            "fig10", "--scale", "0.12", "--topologies", "1",
+            "--requests", "5", "--strategies", "hfc_agg",
+            "--seed", "3", "--json", str(target),
+        ])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["strategies"] == ["hfc_agg"]
+
+    def test_protocol_runs(self, capsys):
+        assert main(["protocol", "--proxies", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "local_state" in out
+        assert "converged" in out
+
+
+class TestSerialize:
+    def test_overhead_roundtrip(self, tmp_path):
+        result = run_overhead_experiment([TINY], topologies_per_size=1, seed=5)
+        payload = overhead_to_dict(result)
+        target = tmp_path / "o.json"
+        dump_json(payload, str(target))
+        loaded = json.loads(target.read_text())
+        assert loaded["panels"]["service"][0]["proxies"] == 40
+        assert loaded["panels"]["service"][0]["flat"] == 40.0
+
+    def test_efficiency_roundtrip(self, tmp_path):
+        result = run_path_efficiency(
+            [TINY], strategies=("hfc_agg",), topologies_per_size=1,
+            requests_per_topology=5, seed=6,
+        )
+        payload = efficiency_to_dict(result)
+        target = tmp_path / "e.json"
+        dump_json(payload, str(target))
+        loaded = json.loads(target.read_text())
+        assert loaded["points"][0]["mean_delay"]["hfc_agg"] > 0
+
+
+class TestReportCommand:
+    def test_report_runs_without_ablations(self, capsys):
+        code = main([
+            "report", "--scale", "0.12", "--topologies", "1",
+            "--requests", "5", "--no-ablations", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 9(a)" in out
+        assert "Fig 10" in out
+        assert "Ablations" not in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main([
+            "report", "--scale", "0.12", "--topologies", "1",
+            "--requests", "5", "--no-ablations", "--seed", "3",
+            "--json", str(target),
+        ])
+        assert code == 0
+        assert "Fig 10" in target.read_text()

@@ -1,0 +1,47 @@
+"""Tests for connected-components utilities."""
+
+from repro.graph import Graph, component_of, connected_components, is_connected
+
+
+def two_islands():
+    g = Graph()
+    g.add_edge(1, 2, 1.0)
+    g.add_edge(2, 3, 1.0)
+    g.add_edge(10, 11, 1.0)
+    return g
+
+
+class TestComponents:
+    def test_empty_graph_has_no_components(self):
+        assert connected_components(Graph()) == []
+
+    def test_empty_graph_is_connected(self):
+        # vacuous truth: at most one component
+        assert is_connected(Graph())
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node("x")
+        assert connected_components(g) == [["x"]]
+        assert is_connected(g)
+
+    def test_two_islands_found(self):
+        comps = connected_components(two_islands())
+        assert len(comps) == 2
+        assert {frozenset(c) for c in comps} == {
+            frozenset({1, 2, 3}),
+            frozenset({10, 11}),
+        }
+
+    def test_is_connected_false_for_islands(self):
+        assert not is_connected(two_islands())
+
+    def test_component_of(self):
+        g = two_islands()
+        assert set(component_of(g, 1)) == {1, 2, 3}
+        assert set(component_of(g, 10)) == {10, 11}
+
+    def test_isolated_nodes_are_own_components(self):
+        g = Graph()
+        g.add_nodes([1, 2, 3])
+        assert len(connected_components(g)) == 3

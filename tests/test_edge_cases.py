@@ -1,0 +1,130 @@
+"""Edge-case tests: degenerate cluster structures and tiny overlays."""
+
+import pytest
+
+from repro.cluster.mstcluster import Clustering
+from repro.core import FrameworkConfig, HFCFramework
+from repro.overlay import build_hfc
+from repro.routing import (
+    HierarchicalRouter,
+    hfc_full_state_router,
+    validate_path,
+)
+from repro.services import ServiceRequest, linear_graph
+
+
+@pytest.fixture(scope="module")
+def single_cluster_framework():
+    """A framework forced into exactly one cluster."""
+    fw = HFCFramework.build(
+        proxy_count=20, config=FrameworkConfig(physical_nodes=150), seed=71
+    )
+    one = Clustering(
+        clusters=[sorted(fw.overlay.proxies)],
+        labels={p: 0 for p in fw.overlay.proxies},
+    )
+    hfc = build_hfc(fw.overlay, one)
+    return fw, hfc
+
+
+class TestSingleCluster:
+    def test_no_borders(self, single_cluster_framework):
+        _, hfc = single_cluster_framework
+        assert hfc.all_border_nodes() == []
+        assert hfc.cluster_count == 1
+
+    def test_hierarchical_routing_degenerates_to_flat(self, single_cluster_framework):
+        fw, hfc = single_cluster_framework
+        router = HierarchicalRouter(hfc)
+        for seed in range(8):
+            request = fw.random_request(seed=seed)
+            result = router.route_detailed(request)
+            assert len(result.child_requests) == 1
+            assert result.child_requests[0].cluster == 0
+            validate_path(result.path, request, fw.overlay)
+
+    def test_full_state_router_works(self, single_cluster_framework):
+        fw, hfc = single_cluster_framework
+        router = hfc_full_state_router(hfc)
+        request = fw.random_request(seed=3)
+        validate_path(router.route(request), request, fw.overlay)
+
+    def test_routing_matrices_finite(self, single_cluster_framework):
+        import numpy as np
+
+        _, hfc = single_cluster_framework
+        route, true = hfc.routing_matrices()
+        assert np.isfinite(route).all() and np.isfinite(true).all()
+
+    def test_overheads_defined(self, single_cluster_framework):
+        from repro.state import mean_coordinates_overhead, mean_service_overhead
+
+        _, hfc = single_cluster_framework
+        n = hfc.overlay.size
+        # one cluster: coordinates overhead = n (own members, no borders)
+        assert mean_coordinates_overhead(hfc) == n
+        # service overhead = n members + 1 aggregate entry
+        assert mean_service_overhead(hfc) == n + 1
+
+    def test_protocol_converges_without_borders(self, single_cluster_framework):
+        from repro.state import StateDistributionProtocol
+
+        _, hfc = single_cluster_framework
+        protocol = StateDistributionProtocol(hfc, seed=4)
+        report = protocol.run(max_time=20000.0)
+        assert report.converged_at is not None
+        assert report.messages_by_kind.get("aggregate_state", 0) == 0
+
+
+class TestTwoProxyOverlay:
+    @pytest.fixture(scope="class")
+    def duo(self):
+        return HFCFramework.build(
+            proxy_count=2,
+            config=FrameworkConfig(
+                physical_nodes=150,
+                min_services_per_proxy=2,
+                max_services_per_proxy=3,
+                instances_per_service=1.0,
+            ),
+            seed=72,
+        )
+
+    def test_builds(self, duo):
+        assert duo.overlay.size == 2
+
+    def test_routes(self, duo):
+        src, dst = duo.overlay.proxies
+        service = next(iter(duo.overlay.placement[src]))
+        request = ServiceRequest(src, linear_graph([service]), dst)
+        path = duo.hierarchical_router().route(request)
+        validate_path(path, request, duo.overlay)
+
+
+class TestSameSourceAndDestinationCluster:
+    def test_round_trip_request(self, framework):
+        """Source and destination in the same cluster, service elsewhere —
+        the CSP must go out and come back (A, B, A run pattern)."""
+        hfc = framework.hfc
+        members = hfc.members(0)
+        if len(members) < 2:
+            pytest.skip("cluster 0 too small")
+        src, dst = members[0], members[1]
+        # find a service absent from cluster 0 but present elsewhere
+        own = set()
+        for m in members:
+            own |= framework.overlay.placement[m]
+        other = None
+        for service in framework.catalog:
+            if service not in own:
+                other = service
+                break
+        if other is None:
+            pytest.skip("cluster 0 hosts the whole catalog")
+        request = ServiceRequest(src, linear_graph([other]), dst)
+        router = framework.hierarchical_router()
+        result = router.route_detailed(request)
+        validate_path(result.path, request, framework.overlay)
+        clusters = [c.cluster for c in result.child_requests]
+        assert clusters[0] == 0 and clusters[-1] == 0
+        assert len(clusters) >= 3  # out and back

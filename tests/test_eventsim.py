@@ -1,0 +1,178 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.netsim import Message, Process, Simulator
+from repro.util.errors import StateError
+
+
+class Recorder(Process):
+    """Collects (time, message) pairs for assertions."""
+
+    def __init__(self, address):
+        super().__init__(address)
+        self.received = []
+
+    def receive(self, message):
+        self.received.append((self.simulator.now, message))
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.run_all()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("first"))
+        sim.schedule(1.0, lambda: fired.append("second"))
+        sim.run_all()
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(StateError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run_until(5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_run_until_includes_boundary_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(5.0)
+        assert fired == [5]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run_all()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_all_guards_runaway(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(StateError):
+            sim.run_all(max_events=100)
+
+
+class TestPeriodic:
+    def test_schedule_every_fires_repeatedly(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(2.0, lambda: ticks.append(sim.now))
+        sim.run_until(7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_first_delay_override(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(5.0, lambda: ticks.append(sim.now), first_delay=1.0)
+        sim.run_until(7.0)
+        assert ticks == [1.0, 6.0]
+
+    def test_until_stops_firings(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(1.0, lambda: ticks.append(sim.now), until=3.5)
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(StateError):
+            Simulator().schedule_every(0.0, lambda: None)
+
+
+class TestMessaging:
+    def test_message_delivery(self):
+        sim = Simulator()
+        alice, bob = Recorder("alice"), Recorder("bob")
+        sim.register(alice)
+        sim.register(bob)
+        sim.run_all()  # run start hooks
+        sim.send(Message("alice", "bob", "ping", {"x": 1}, size=3), delay=2.0)
+        sim.run_all()
+        assert len(bob.received) == 1
+        time, message = bob.received[0]
+        assert time == 2.0
+        assert message.kind == "ping"
+        assert message.payload == {"x": 1}
+
+    def test_delivery_counters(self):
+        sim = Simulator()
+        sim.register(Recorder("a"))
+        sim.register(Recorder("b"))
+        sim.send(Message("a", "b", "k", None, size=7), delay=1.0)
+        sim.run_all()
+        assert sim.messages_delivered == 1
+        assert sim.bytes_delivered == 7
+
+    def test_process_send_helper(self):
+        sim = Simulator()
+        alice, bob = Recorder("alice"), Recorder("bob")
+        sim.register(alice)
+        sim.register(bob)
+        sim.run_all()
+        alice.send("bob", "hello", 42, delay=1.5)
+        sim.run_all()
+        assert bob.received[0][1].payload == 42
+        assert bob.received[0][1].sender == "alice"
+
+    def test_duplicate_address_rejected(self):
+        sim = Simulator()
+        sim.register(Recorder("a"))
+        with pytest.raises(StateError):
+            sim.register(Recorder("a"))
+
+    def test_unknown_recipient_raises_on_delivery(self):
+        sim = Simulator()
+        sim.register(Recorder("a"))
+        sim.send(Message("a", "ghost", "k", None), delay=1.0)
+        with pytest.raises(StateError):
+            sim.run_all()
+
+    def test_unregistered_process_cannot_send(self):
+        ghost = Recorder("ghost")
+        with pytest.raises(StateError):
+            ghost.send("x", "k", None, delay=1.0)
+
+    def test_start_hook_runs(self):
+        class Starter(Process):
+            def __init__(self):
+                super().__init__("s")
+                self.started_at = None
+
+            def start(self):
+                self.started_at = self.simulator.now
+
+        sim = Simulator()
+        starter = Starter()
+        sim.register(starter)
+        sim.run_all()
+        assert starter.started_at == 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for the graph substrate (repro.graph.graph)."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.util.errors import GraphError
+
+
+@pytest.fixture
+def triangle():
+    g = Graph()
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("b", "c", 2.0)
+    g.add_edge("a", "c", 4.0)
+    return g
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.node_count == 0
+        assert g.edge_count == 0
+        assert g.nodes() == []
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.node_count == 1
+
+    def test_add_nodes_bulk(self):
+        g = Graph()
+        g.add_nodes(range(5))
+        assert g.node_count == 5
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(1, 2, 3.0)
+        assert 1 in g and 2 in g
+        assert g.weight(1, 2) == 3.0
+
+    def test_edge_is_undirected(self, triangle):
+        assert triangle.weight("a", "b") == triangle.weight("b", "a")
+
+    def test_re_adding_edge_overwrites_weight(self):
+        g = Graph()
+        g.add_edge(1, 2, 3.0)
+        g.add_edge(1, 2, 7.0)
+        assert g.weight(1, 2) == 7.0
+        assert g.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_negative_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, -0.5)
+
+
+class TestQueries:
+    def test_edge_count(self, triangle):
+        assert triangle.edge_count == 3
+
+    def test_edges_yields_each_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        pairs = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(pairs) == 3
+
+    def test_neighbors(self, triangle):
+        assert triangle.neighbors("a") == {"b": 1.0, "c": 4.0}
+
+    def test_degree(self, triangle):
+        assert triangle.degree("a") == 2
+
+    def test_total_weight(self, triangle):
+        assert triangle.total_weight() == pytest.approx(7.0)
+
+    def test_missing_edge_weight_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.weight("a", "zzz")
+
+    def test_missing_node_neighbors_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.neighbors("zzz")
+
+    def test_len_matches_node_count(self, triangle):
+        assert len(triangle) == triangle.node_count == 3
+
+
+class TestMutation:
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge("a", "b")
+        assert not triangle.has_edge("a", "b")
+        assert triangle.node_count == 3
+
+    def test_remove_missing_edge_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.remove_edge("a", "zzz")
+
+    def test_remove_node_drops_incident_edges(self, triangle):
+        triangle.remove_node("a")
+        assert "a" not in triangle
+        assert not triangle.has_edge("b", "a")
+        assert triangle.edge_count == 1
+
+    def test_remove_missing_node_raises(self, triangle):
+        with pytest.raises(GraphError):
+            triangle.remove_node("zzz")
+
+
+class TestDerived:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge("a", "b")
+        assert triangle.has_edge("a", "b")
+        assert not clone.has_edge("a", "b")
+
+    def test_subgraph_induces_edges(self, triangle):
+        sub = triangle.subgraph(["a", "b"])
+        assert sub.node_count == 2
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("a", "c")
+
+    def test_subgraph_ignores_unknown_nodes(self, triangle):
+        sub = triangle.subgraph(["a", "unknown"])
+        assert sub.node_count == 1

@@ -1,0 +1,151 @@
+"""End-to-end integration tests: the whole pipeline and the paper's claims.
+
+These run at a reduced scale and assert the *shape* of the paper's results:
+
+* Fig 9 — hierarchical node-state counts grow much slower than flat;
+* Fig 10 — HFC with aggregation is comparable to the mesh baseline, and
+  HFC without aggregation is at least as good as HFC with aggregation
+  (the gap is the price of aggregation imprecision);
+* the hierarchical path is never better than the same-topology full-state
+  optimum *measured on the estimates it optimises* (internal consistency).
+"""
+
+import random
+
+import pytest
+
+from repro.core import FrameworkConfig, HFCFramework
+from repro.experiments import (
+    EnvironmentSpec,
+    WorkloadConfig,
+    build_environment,
+    generate_requests,
+    run_overhead_experiment,
+    run_path_efficiency,
+)
+from repro.routing import validate_path
+
+SPECS = [
+    EnvironmentSpec(physical_nodes=150, landmarks=10, proxies=50, clients=10),
+    EnvironmentSpec(physical_nodes=240, landmarks=10, proxies=100, clients=18),
+]
+
+
+@pytest.fixture(scope="module")
+def overhead_result():
+    return run_overhead_experiment(SPECS, topologies_per_size=3, seed=21)
+
+
+@pytest.fixture(scope="module")
+def efficiency_result():
+    return run_path_efficiency(
+        SPECS,
+        strategies=("mesh", "hfc_agg", "hfc_full", "oracle"),
+        topologies_per_size=2,
+        requests_per_topology=60,
+        seed=22,
+    )
+
+
+class TestFig9Shape:
+    def test_hierarchical_much_smaller_at_larger_size(self, overhead_result):
+        big = overhead_result.coordinates[-1]
+        assert big.hierarchical < 0.8 * big.flat
+
+    def test_hierarchical_grows_slower_than_flat(self, overhead_result):
+        for series in (overhead_result.coordinates, overhead_result.service):
+            flat_growth = series[-1].flat - series[0].flat
+            hier_growth = series[-1].hierarchical - series[0].hierarchical
+            assert hier_growth < flat_growth
+
+    def test_service_overhead_even_smaller_than_coordinates(self, overhead_result):
+        """SCT_C holds one entry per cluster, fewer than border coordinates."""
+        for coord, svc in zip(
+            overhead_result.coordinates, overhead_result.service
+        ):
+            assert svc.hierarchical <= coord.hierarchical + 1e-9
+
+
+class TestFig10Shape:
+    def test_hfc_agg_comparable_to_mesh(self, efficiency_result):
+        """Paper: 'performance of the HFC framework is still comparable to
+        (actually slightly better than) single-level mesh solutions'."""
+        for point in efficiency_result.points:
+            assert point.mean_delay["hfc_agg"] <= point.mean_delay["mesh"] * 1.15
+
+    def test_full_state_at_least_as_good_as_aggregated(self, efficiency_result):
+        """The gap hfc_agg - hfc_full is the aggregation-imprecision price;
+        it must not be negative beyond noise."""
+        for point in efficiency_result.points:
+            assert point.mean_delay["hfc_full"] <= point.mean_delay["hfc_agg"] * 1.05
+
+    def test_oracle_is_global_minimum(self, efficiency_result):
+        for point in efficiency_result.points:
+            oracle = point.mean_delay["oracle"]
+            for name, value in point.mean_delay.items():
+                assert value >= oracle - 1e-9
+
+    def test_no_routing_failures(self, efficiency_result):
+        for point in efficiency_result.points:
+            assert all(v == 0 for v in point.failures.values())
+
+
+class TestInternalConsistency:
+    def test_hierarchical_estimate_not_below_full_state_estimate(self):
+        """On the metric both optimise (coordinate length), the full-state
+        router over the same HFC topology is a relaxation of the
+        hierarchical one, so it can never be longer."""
+        framework = HFCFramework.build(
+            proxy_count=60, config=FrameworkConfig(physical_nodes=200), seed=31
+        )
+        hier = framework.hierarchical_router()
+        full = framework.full_state_router()
+        overlay = framework.overlay
+        rng = random.Random(5)
+        for _ in range(20):
+            request = framework.random_request(seed=rng.randint(0, 10**9))
+            h = hier.route(request).estimated_length(overlay)
+            f = full.route(request).estimated_length(overlay)
+            assert f <= h + 1e-6
+
+    def test_protocol_state_equals_placement_aggregates(self):
+        """After convergence, routing from protocol tables equals routing
+        from direct placement aggregation."""
+        framework = HFCFramework.build(
+            proxy_count=50, config=FrameworkConfig(physical_nodes=150), seed=32
+        )
+        from repro.routing import HierarchicalRouter
+        from repro.state import StateDistributionProtocol
+
+        protocol = StateDistributionProtocol(framework.hfc, seed=2)
+        report = protocol.run()
+        assert report.converged_at is not None
+        from_protocol = HierarchicalRouter(
+            framework.hfc,
+            cluster_capabilities=protocol.capabilities_for_routing(),
+        )
+        from_placement = framework.hierarchical_router()
+        overlay = framework.overlay
+        for seed in range(10):
+            request = framework.random_request(seed=seed)
+            a = from_protocol.route(request)
+            b = from_placement.route(request)
+            assert a.true_delay(overlay) == pytest.approx(b.true_delay(overlay))
+
+
+class TestClientWorkloadEndToEnd:
+    def test_full_paper_pipeline_small(self):
+        """Table-1-shaped environment end to end: build, state, route 30
+        client requests on all three Fig 10 strategies, validate every path."""
+        env = build_environment(SPECS[0], seed=41)
+        fw = env.framework
+        requests = generate_requests(env, WorkloadConfig(request_count=30), seed=42)
+        routers = {
+            "mesh": fw.mesh_router(seed=43),
+            "hfc_agg": fw.hierarchical_router(),
+            "hfc_full": fw.full_state_router(),
+        }
+        for request in requests:
+            for router in routers.values():
+                path = router.route(request)
+                validate_path(path, request, fw.overlay)

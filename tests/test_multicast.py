@@ -1,0 +1,122 @@
+"""Tests for service multicast trees."""
+
+import random
+
+import pytest
+
+from repro.multicast import (
+    MulticastRequest,
+    build_service_tree,
+    unicast_baseline_cost,
+)
+from repro.routing import HierarchicalRouter, validate_path
+from repro.services import ServiceRequest, linear_graph
+from repro.util.errors import RoutingError
+
+
+@pytest.fixture(scope="module")
+def router(framework):
+    return HierarchicalRouter(framework.hfc)
+
+
+def make_request(framework, rng, dest_count=5, length=4):
+    proxies = framework.overlay.proxies
+    picked = rng.sample(proxies, dest_count + 1)
+    names = [rng.choice(list(framework.catalog.names)) for _ in range(length)]
+    return MulticastRequest(
+        source_proxy=picked[0],
+        service_graph=linear_graph(names),
+        destinations=tuple(picked[1:]),
+    )
+
+
+class TestRequestValidation:
+    def test_needs_destinations(self, framework):
+        with pytest.raises(RoutingError):
+            MulticastRequest(1, linear_graph(["a"]), ())
+
+    def test_duplicate_destinations_rejected(self, framework):
+        with pytest.raises(RoutingError):
+            MulticastRequest(1, linear_graph(["a"]), (2, 2))
+
+    def test_source_as_destination_rejected(self, framework):
+        with pytest.raises(RoutingError):
+            MulticastRequest(1, linear_graph(["a"]), (1, 2))
+
+
+class TestTreeConstruction:
+    def test_every_destination_served_validly(self, framework, router):
+        rng = random.Random(91)
+        for _ in range(5):
+            request = make_request(framework, rng)
+            tree = build_service_tree(router, request)
+            for destination in request.destinations:
+                path = tree.path_to(destination)
+                unicast = ServiceRequest(
+                    request.source_proxy, request.service_graph, destination
+                )
+                validate_path(path, unicast, framework.overlay)
+
+    def test_chain_ends_at_last_service(self, framework, router):
+        rng = random.Random(92)
+        request = make_request(framework, rng)
+        tree = build_service_tree(router, request)
+        assert tree.chain.hops[-1].service is not None
+        assert tree.tail == tree.chain.hops[-1].proxy
+
+    def test_unknown_destination_rejected(self, framework, router):
+        rng = random.Random(93)
+        request = make_request(framework, rng)
+        tree = build_service_tree(router, request)
+        with pytest.raises(RoutingError):
+            tree.path_to(-999)
+
+    def test_tree_cheaper_than_unicast_for_many_destinations(
+        self, framework, router
+    ):
+        """With enough destinations the shared chain + tree must beat per-
+        destination unicast on total cost (services are paid once)."""
+        rng = random.Random(94)
+        wins = 0
+        for _ in range(5):
+            request = make_request(framework, rng, dest_count=8, length=6)
+            tree = build_service_tree(router, request)
+            tree_cost = tree.total_cost(framework.overlay)
+            unicast_cost = unicast_baseline_cost(
+                router, request, framework.overlay
+            )
+            if tree_cost < unicast_cost:
+                wins += 1
+        assert wins >= 4  # allow one unlucky draw
+
+    def test_single_destination_tree_close_to_unicast(self, framework, router):
+        """With one destination the tree degenerates to (chain + branch) —
+        within the anchor search's reach of the unicast path."""
+        rng = random.Random(95)
+        request = make_request(framework, rng, dest_count=1)
+        tree = build_service_tree(router, request)
+        unicast_cost = unicast_baseline_cost(router, request, framework.overlay)
+        assert tree.total_cost(framework.overlay) <= unicast_cost * 1.5
+
+    def test_more_anchors_never_worse_estimate(self, framework, router):
+        """Widening the anchor search can only improve the chosen tree's
+        estimated cost (it is a min over a superset)."""
+        from repro.multicast.tree import _estimated_tree_cost
+
+        rng = random.Random(96)
+        request = make_request(framework, rng, dest_count=6)
+        narrow = build_service_tree(router, request, anchor_candidates=1)
+        wide = build_service_tree(router, request, anchor_candidates=None)
+        space = framework.space
+        assert _estimated_tree_cost(space, wide.chain, wide) <= (
+            _estimated_tree_cost(space, narrow.chain, narrow) + 1e-9
+        )
+
+    def test_branch_of_covers_all_destinations(self, framework, router):
+        rng = random.Random(97)
+        request = make_request(framework, rng, dest_count=6)
+        tree = build_service_tree(router, request)
+        assert set(tree.branch_of) == set(request.destinations)
+        for destination, branch in tree.branch_of.items():
+            assert branch[0] == tree.tail or branch == [tree.tail]
+            assert branch[-1] == destination or destination == tree.tail

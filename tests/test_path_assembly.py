@@ -1,0 +1,88 @@
+"""Unit tests for path assembly internals (_merge_consecutive).
+
+Every router funnels its hops through this helper; its contract is subtle
+(relays collapse into adjacent hops on the same proxy, service hops never
+disappear), so it gets its own adversarial test set.
+"""
+
+from repro.routing.flat import _merge_consecutive
+from repro.routing.path import Hop
+
+
+def hops(*specs):
+    """specs: (proxy, service) pairs; service None means relay."""
+    return [Hop(proxy=p, service=s, slot=(i if s else None))
+            for i, (p, s) in enumerate(specs)]
+
+
+class TestMergeConsecutive:
+    def test_distinct_proxies_untouched(self):
+        sequence = hops((1, None), (2, "a"), (3, None))
+        assert _merge_consecutive(sequence) == sequence
+
+    def test_relay_then_service_same_proxy_keeps_service(self):
+        merged = _merge_consecutive(hops((1, None), (1, "a")))
+        assert len(merged) == 1
+        assert merged[0].service == "a"
+
+    def test_service_then_relay_same_proxy_keeps_service(self):
+        merged = _merge_consecutive(hops((1, "a"), (1, None)))
+        assert len(merged) == 1
+        assert merged[0].service == "a"
+
+    def test_two_services_same_proxy_both_kept(self):
+        merged = _merge_consecutive(hops((1, "a"), (1, "b")))
+        assert [h.service for h in merged] == ["a", "b"]
+
+    def test_double_relay_same_proxy_collapses(self):
+        merged = _merge_consecutive(hops((1, None), (1, None)))
+        assert len(merged) == 1
+        assert merged[0].service is None
+
+    def test_relay_sandwich(self):
+        """relay, service, relay on one proxy -> just the service."""
+        merged = _merge_consecutive(hops((1, None), (1, "a"), (1, None)))
+        assert len(merged) == 1
+        assert merged[0].service == "a"
+
+    def test_triple_service_run(self):
+        merged = _merge_consecutive(hops((1, "a"), (1, "b"), (1, "c")))
+        assert [h.service for h in merged] == ["a", "b", "c"]
+
+    def test_composition_junction_scenario(self):
+        """Child paths meeting at a border: ...-/b | -/b, s/x... merges the
+        duplicated border relay but keeps everything else."""
+        child1 = hops((10, None), (11, "a"), (12, None))
+        child2 = hops((12, None), (13, "b"), (14, None))
+        merged = _merge_consecutive(child1 + child2)
+        proxies = [h.proxy for h in merged]
+        assert proxies == [10, 11, 12, 13, 14]
+
+    def test_service_count_always_preserved(self):
+        """No merge may ever drop a service application."""
+        import itertools
+        import random
+
+        rng = random.Random(3)
+        for _ in range(200):
+            sequence = []
+            for i in range(rng.randint(1, 10)):
+                proxy = rng.randint(1, 3)
+                service = rng.choice([None, "a", "b"])
+                sequence.append(Hop(proxy=proxy, service=service,
+                                    slot=i if service else None))
+            merged = _merge_consecutive(sequence)
+            assert (
+                [h.service for h in merged if h.service is not None]
+                == [h.service for h in sequence if h.service is not None]
+            )
+            # no consecutive relay duplicates survive
+            for a, b in zip(merged, merged[1:]):
+                assert not (
+                    a.proxy == b.proxy
+                    and a.service is None
+                    and b.service is None
+                )
+
+    def test_empty_input(self):
+        assert _merge_consecutive([]) == []

@@ -1,0 +1,79 @@
+"""Tests for framework persistence (JSON save/load round trips)."""
+
+import pytest
+
+from repro.persistence import (
+    FORMAT_VERSION,
+    framework_from_dict,
+    framework_to_dict,
+    load_framework,
+    save_framework,
+)
+from repro.routing import HierarchicalRouter, validate_path
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def restored(tiny_framework, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "framework.json"
+    save_framework(tiny_framework, str(path))
+    return load_framework(str(path))
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, tiny_framework, restored):
+        assert restored.overlay.proxies == tiny_framework.overlay.proxies
+        assert restored.overlay.placement == tiny_framework.overlay.placement
+        assert restored.clustering.labels == tiny_framework.clustering.labels
+        assert restored.hfc.borders == tiny_framework.hfc.borders
+        assert list(restored.catalog.names) == list(tiny_framework.catalog.names)
+
+    def test_physical_graph_preserved(self, tiny_framework, restored):
+        a = tiny_framework.physical.graph
+        b = restored.physical.graph
+        assert a.node_count == b.node_count
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_coordinates_preserved(self, tiny_framework, restored):
+        for proxy in tiny_framework.overlay.proxies:
+            assert restored.space.coordinate(proxy) == pytest.approx(
+                tiny_framework.space.coordinate(proxy)
+            )
+
+    def test_embedding_report_preserved(self, tiny_framework, restored):
+        assert (
+            restored.embedding_report.landmark_ids
+            == tiny_framework.embedding_report.landmark_ids
+        )
+        assert restored.embedding_report.measurement_count == (
+            tiny_framework.embedding_report.measurement_count
+        )
+
+    def test_routing_identical(self, tiny_framework, restored):
+        """Same overlay, same coordinates, same borders -> same paths."""
+        original = HierarchicalRouter(tiny_framework.hfc)
+        loaded = HierarchicalRouter(restored.hfc)
+        for seed in range(8):
+            request = tiny_framework.random_request(seed=seed)
+            a = original.route(request)
+            b = loaded.route(request)
+            assert a.hops == b.hops
+            validate_path(b, request, restored.overlay)
+
+    def test_describe_matches(self, tiny_framework, restored):
+        assert restored.describe() == tiny_framework.describe()
+
+    def test_config_preserved(self, tiny_framework, restored):
+        assert restored.config == tiny_framework.config
+
+
+class TestFormatGuard:
+    def test_wrong_version_rejected(self, tiny_framework):
+        payload = framework_to_dict(tiny_framework)
+        payload["format_version"] = 999
+        with pytest.raises(ReproError):
+            framework_from_dict(payload)
+
+    def test_version_constant_written(self, tiny_framework):
+        payload = framework_to_dict(tiny_framework)
+        assert payload["format_version"] == FORMAT_VERSION

@@ -1,0 +1,158 @@
+"""Tests for the service-placement optimiser (E8)."""
+
+import pytest
+
+from repro.placement import (
+    demand_weights,
+    greedy_kmedian,
+    optimize_placement,
+)
+from repro.util.errors import ServiceModelError
+
+
+class TestDemandWeights:
+    def test_uniform_equal(self, tiny_framework):
+        weights = demand_weights(tiny_framework.catalog)
+        values = set(round(v, 12) for v in weights.values())
+        assert len(values) == 1
+
+    def test_zipf_skews(self, tiny_framework):
+        weights = demand_weights(tiny_framework.catalog, popularity="zipf")
+        names = list(tiny_framework.catalog.names)
+        assert weights[names[0]] > weights[names[-1]]
+
+    def test_normalised(self, tiny_framework):
+        for pop in ("uniform", "zipf"):
+            weights = demand_weights(tiny_framework.catalog, popularity=pop)
+            assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_unknown_model_rejected(self, tiny_framework):
+        with pytest.raises(ServiceModelError):
+            demand_weights(tiny_framework.catalog, popularity="pareto")
+
+
+class TestGreedyKMedian:
+    def test_single_facility_is_medianish(self, tiny_framework):
+        space = tiny_framework.space
+        proxies = tiny_framework.overlay.proxies
+        picked = greedy_kmedian(space, proxies, proxies, 1)
+        assert len(picked) == 1
+        # the greedy pick must beat a random proxy on mean distance
+        import numpy as np
+
+        def mean_dist(f):
+            return float(
+                np.mean([space.distance(c, f) for c in proxies])
+            )
+
+        chosen_cost = mean_dist(picked[0])
+        costs = sorted(mean_dist(p) for p in proxies)
+        assert chosen_cost == pytest.approx(costs[0])
+
+    def test_more_facilities_never_worse(self, tiny_framework):
+        import numpy as np
+
+        space = tiny_framework.space
+        proxies = tiny_framework.overlay.proxies
+
+        def coverage_cost(facilities):
+            return float(
+                np.mean(
+                    [
+                        min(space.distance(c, f) for f in facilities)
+                        for c in proxies
+                    ]
+                )
+            )
+
+        one = greedy_kmedian(space, proxies, proxies, 1)
+        three = greedy_kmedian(space, proxies, proxies, 3)
+        assert coverage_cost(three) <= coverage_cost(one) + 1e-9
+
+    def test_k_clamped_to_candidates(self, tiny_framework):
+        space = tiny_framework.space
+        proxies = tiny_framework.overlay.proxies[:3]
+        picked = greedy_kmedian(space, proxies, tiny_framework.overlay.proxies, 10)
+        assert len(picked) <= 3
+
+    def test_invalid_k_rejected(self, tiny_framework):
+        with pytest.raises(ServiceModelError):
+            greedy_kmedian(
+                tiny_framework.space,
+                tiny_framework.overlay.proxies,
+                tiny_framework.overlay.proxies,
+                0,
+            )
+
+
+class TestOptimizePlacement:
+    @pytest.fixture(scope="class")
+    def plan(self, framework):
+        return optimize_placement(
+            framework.overlay, framework.catalog, popularity="zipf", seed=1
+        )
+
+    def test_budget_preserved(self, framework, plan):
+        original = sum(len(s) for s in framework.overlay.placement.values())
+        assert sum(plan.replicas.values()) == original
+
+    def test_replicas_bounded_by_proxies(self, framework, plan):
+        n = framework.overlay.size
+        assert all(1 <= r <= n for r in plan.replicas.values())
+
+    def test_every_service_placed(self, framework, plan):
+        covered = set()
+        for services in plan.placement.values():
+            covered |= services
+        assert covered == set(framework.catalog.names)
+
+    def test_popular_services_more_replicated(self, framework, plan):
+        names = list(framework.catalog.names)
+        assert plan.replicas[names[0]] >= plan.replicas[names[-1]]
+
+    def test_demand_aware_beats_original_on_matching_workload(self, framework, plan):
+        """Routing a Zipf workload over the optimised placement must beat
+        the demand-oblivious original at the same replica budget."""
+        import random
+
+        from repro.cluster import cluster_nodes
+        from repro.overlay import OverlayNetwork, build_hfc
+        from repro.routing import HierarchicalRouter
+        from repro.services import ServiceRequest, linear_graph
+        from repro.util.errors import NoFeasiblePathError
+
+        optimized_overlay = OverlayNetwork(
+            physical=framework.physical,
+            proxies=framework.overlay.proxies,
+            placement=plan.placement,
+            space=framework.space,
+        )
+        optimized_hfc = build_hfc(optimized_overlay, framework.clustering)
+        original = HierarchicalRouter(framework.hfc)
+        optimized = HierarchicalRouter(optimized_hfc)
+
+        names = list(framework.catalog.names)
+        weights = [1.0 / (i + 1) for i in range(len(names))]
+        rng = random.Random(5)
+        base_total = opt_total = 0.0
+        counted = 0
+        for _ in range(60):
+            src, dst = rng.sample(framework.overlay.proxies, 2)
+            services = rng.choices(names, weights=weights, k=rng.randint(4, 8))
+            request = ServiceRequest(src, linear_graph(services), dst)
+            try:
+                a = original.route(request).true_delay(framework.overlay)
+                b = optimized.route(request).true_delay(optimized_overlay)
+            except NoFeasiblePathError:
+                continue
+            base_total += a
+            opt_total += b
+            counted += 1
+        assert counted > 40
+        assert opt_total < base_total
+
+    def test_budget_too_small_rejected(self, framework):
+        with pytest.raises(ServiceModelError):
+            optimize_placement(
+                framework.overlay, framework.catalog, replica_budget=1
+            )

@@ -1,0 +1,181 @@
+"""Tests for the bandwidth-QoS extension."""
+
+import pytest
+
+from repro.qos import (
+    BandwidthAwareProvider,
+    BandwidthModel,
+    QoSHierarchicalRouter,
+    cluster_pair_bandwidth,
+    intra_cluster_bandwidth_stats,
+    qos_flat_router,
+)
+from repro.routing import CoordinateProvider, validate_path
+from repro.util.errors import NoFeasiblePathError, RoutingError
+
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def model(framework):
+    return BandwidthModel(framework.physical, seed=4)
+
+
+class TestBandwidthModel:
+    def test_every_physical_link_has_capacity(self, framework, model):
+        for u, v, _ in framework.physical.graph.edges():
+            assert model.link_capacity(u, v) > 0
+
+    def test_capacity_symmetric_lookup(self, framework, model):
+        u, v, _ = next(framework.physical.graph.edges())
+        assert model.link_capacity(u, v) == model.link_capacity(v, u)
+
+    def test_missing_link_raises(self, framework, model):
+        nodes = framework.physical.graph.nodes()
+        non_adjacent = None
+        for a in nodes:
+            for b in nodes:
+                if a != b and not framework.physical.graph.has_edge(a, b):
+                    non_adjacent = (a, b)
+                    break
+            if non_adjacent:
+                break
+        with pytest.raises(RoutingError):
+            model.link_capacity(*non_adjacent)
+
+    def test_transit_links_fatter_on_average(self, framework, model):
+        kinds = framework.physical.topology.node_kind
+        transit, stub = [], []
+        for u, v, _ in framework.physical.graph.edges():
+            cap = model.link_capacity(u, v)
+            if kinds[u] == "transit" and kinds[v] == "transit":
+                transit.append(cap)
+            else:
+                stub.append(cap)
+        assert np.mean(transit) > np.mean(stub)
+
+    def test_overlay_bandwidth_is_bottleneck(self, framework, model):
+        u, v = framework.overlay.proxies[:2]
+        route = framework.physical.route(u, v)
+        expected = min(
+            model.link_capacity(a, b) for a, b in zip(route, route[1:])
+        )
+        assert model.overlay_bandwidth(u, v) == pytest.approx(expected)
+
+    def test_self_bandwidth_infinite(self, framework, model):
+        p = framework.overlay.proxies[0]
+        assert model.overlay_bandwidth(p, p) == float("inf")
+
+    def test_path_bandwidth_min_of_hops(self, framework, model):
+        p = framework.overlay.proxies[:3]
+        expected = min(
+            model.overlay_bandwidth(p[0], p[1]), model.overlay_bandwidth(p[1], p[2])
+        )
+        assert model.path_bandwidth(p) == pytest.approx(expected)
+
+    def test_bad_ranges_rejected(self, framework):
+        with pytest.raises(RoutingError):
+            BandwidthModel(framework.physical, stub_range=(0.0, 5.0))
+
+
+class TestBandwidthAwareProvider:
+    def test_masks_thin_links(self, framework, model):
+        base = CoordinateProvider(framework.space)
+        provider = BandwidthAwareProvider(base, model, min_bandwidth=1e9)
+        u, v = framework.overlay.proxies[:2]
+        assert provider.pair(u, v) == float("inf")
+
+    def test_zero_requirement_passthrough(self, framework, model):
+        base = CoordinateProvider(framework.space)
+        provider = BandwidthAwareProvider(base, model, min_bandwidth=0.0)
+        u, v = framework.overlay.proxies[:2]
+        assert provider.pair(u, v) == pytest.approx(base.pair(u, v))
+
+    def test_block_matches_pair(self, framework, model):
+        base = CoordinateProvider(framework.space)
+        provider = BandwidthAwareProvider(base, model, min_bandwidth=30.0)
+        proxies = framework.overlay.proxies[:6]
+        block = provider.block(proxies, proxies)
+        for i, u in enumerate(proxies):
+            for j, v in enumerate(proxies):
+                expected = provider.pair(u, v)
+                if np.isinf(expected):
+                    assert np.isinf(block[i, j])
+                else:
+                    assert block[i, j] == pytest.approx(expected)
+
+    def test_negative_requirement_rejected(self, framework, model):
+        with pytest.raises(RoutingError):
+            BandwidthAwareProvider(
+                CoordinateProvider(framework.space), model, min_bandwidth=-1.0
+            )
+
+
+class TestQoSRouting:
+    def test_flat_paths_respect_floor(self, framework, model):
+        router = qos_flat_router(framework.overlay, model, min_bandwidth=15.0)
+        satisfied = 0
+        for seed in range(10):
+            request = framework.random_request(seed=seed)
+            try:
+                path = router.route(request)
+            except NoFeasiblePathError:
+                continue
+            satisfied += 1
+            validate_path(path, request, framework.overlay)
+            assert model.path_bandwidth(path.proxies()) >= 15.0
+        assert satisfied > 0
+
+    def test_hierarchical_paths_respect_floor(self, framework, model):
+        router = QoSHierarchicalRouter(framework.hfc, model, min_bandwidth=15.0)
+        satisfied = 0
+        for seed in range(10):
+            request = framework.random_request(seed=seed)
+            try:
+                path = router.route(request)
+            except NoFeasiblePathError:
+                continue
+            satisfied += 1
+            validate_path(path, request, framework.overlay)
+            assert model.path_bandwidth(path.proxies()) >= 15.0
+        assert satisfied > 0
+
+    def test_impossible_floor_raises(self, framework, model):
+        router = QoSHierarchicalRouter(framework.hfc, model, min_bandwidth=1e12)
+        with pytest.raises(NoFeasiblePathError):
+            router.route(framework.random_request(seed=1))
+
+    def test_tighter_floor_never_shortens_paths(self, framework, model):
+        """Feasible sets shrink monotonically with the requirement."""
+        loose = qos_flat_router(framework.overlay, model, min_bandwidth=0.0)
+        tight = qos_flat_router(framework.overlay, model, min_bandwidth=25.0)
+        overlay = framework.overlay
+        for seed in range(8):
+            request = framework.random_request(seed=seed)
+            loose_est = loose.route(request).estimated_length(overlay)
+            try:
+                tight_est = tight.route(request).estimated_length(overlay)
+            except NoFeasiblePathError:
+                continue
+            assert tight_est >= loose_est - 1e-9
+
+
+class TestAggregates:
+    def test_cluster_pair_bandwidth_keys(self, framework, model):
+        pairs = cluster_pair_bandwidth(framework.hfc, model)
+        k = framework.hfc.cluster_count
+        assert len(pairs) == k * (k - 1) // 2
+        for (i, j), bw in pairs.items():
+            assert i < j
+            assert bw > 0
+
+    def test_cluster_pair_bandwidth_matches_border_link(self, framework, model):
+        pairs = cluster_pair_bandwidth(framework.hfc, model)
+        (i, j), bw = next(iter(pairs.items()))
+        u = framework.hfc.border(i, j)
+        v = framework.hfc.border(j, i)
+        assert bw == pytest.approx(model.overlay_bandwidth(u, v))
+
+    def test_intra_cluster_stats(self, framework, model):
+        stats = intra_cluster_bandwidth_stats(framework.hfc, model, 0)
+        assert stats["min"] <= stats["mean"] <= stats["max"]

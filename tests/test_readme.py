@@ -1,0 +1,33 @@
+"""The README's quickstart snippet must actually run."""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def test_quickstart_snippet_executes():
+    text = README.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README has no python code block"
+    snippet = blocks[0]
+    # keep the snippet cheap: shrink the overlay it builds
+    snippet = snippet.replace("proxy_count=100", "proxy_count=40")
+    namespace = {}
+    exec(compile(snippet, "README-quickstart", "exec"), namespace)  # noqa: S102
+    assert "path" in namespace
+
+
+def test_architecture_block_matches_source_tree():
+    """Every subpackage the README names must exist (and vice versa)."""
+    text = README.read_text()
+    src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+    named = set(re.findall(r"^  (\w+)/", text, flags=re.MULTILINE))
+    actual = {
+        p.name for p in src.iterdir()
+        if p.is_dir() and not p.name.startswith("__")
+    }
+    assert named <= actual, f"README names missing packages: {named - actual}"
+    assert actual <= named | {"util"}, (
+        f"packages undocumented in README: {actual - named - {'util'}}"
+    )

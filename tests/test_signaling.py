@@ -1,0 +1,70 @@
+"""Tests for the control-plane signaling simulator."""
+
+import pytest
+
+from repro.routing import HierarchicalRouter, validate_path
+from repro.routing.signaling import SignalingSimulator, solver_for
+
+
+@pytest.fixture(scope="module")
+def signaling(framework):
+    return SignalingSimulator(HierarchicalRouter(framework.hfc))
+
+
+class TestSignaledResolution:
+    def test_same_path_as_direct_routing(self, framework, signaling):
+        router = HierarchicalRouter(framework.hfc)
+        for seed in range(10):
+            request = framework.random_request(seed=seed)
+            direct = router.route(request)
+            report = signaling.resolve(request)
+            assert report.path.hops == direct.hops
+
+    def test_paths_validate(self, framework, signaling):
+        for seed in range(5):
+            request = framework.random_request(seed=seed + 50)
+            report = signaling.resolve(request)
+            validate_path(report.path, request, framework.overlay)
+
+    def test_setup_latency_is_max_round_trip(self, framework, signaling):
+        """Children are solved in parallel, so setup latency equals the
+        slowest remote round trip (pd -> solver -> pd)."""
+        router = HierarchicalRouter(framework.hfc)
+        for seed in range(10):
+            request = framework.random_request(seed=seed + 100)
+            result = router.route_detailed(request)
+            pd = request.destination_proxy
+            round_trips = [
+                2 * framework.overlay.true_delay(pd, solver_for(child, pd))
+                for child in result.child_requests
+                if solver_for(child, pd) != pd
+            ]
+            expected = max(round_trips, default=0.0)
+            report = signaling.resolve(request)
+            assert report.setup_latency == pytest.approx(expected)
+
+    def test_control_message_count(self, framework, signaling):
+        """One request plus one reply per remote child."""
+        for seed in range(10):
+            request = framework.random_request(seed=seed + 200)
+            report = signaling.resolve(request)
+            assert report.control_messages == 2 * report.remote_children
+
+    def test_local_only_request_needs_no_messages(self, framework, signaling):
+        """A request solvable entirely inside pd's cluster signals nothing."""
+        from repro.services import ServiceRequest, linear_graph
+
+        hfc = framework.hfc
+        cid = hfc.cluster_of(framework.overlay.proxies[0])
+        members = hfc.members(cid)
+        if len(members) < 3:
+            pytest.skip("cluster too small")
+        local_service = next(iter(framework.overlay.placement[members[0]]))
+        request = ServiceRequest(
+            members[1], linear_graph([local_service]), members[2]
+        )
+        report = signaling.resolve(request)
+        # the only children may live in pd's own cluster -> zero latency
+        if report.remote_children == 0:
+            assert report.setup_latency == 0.0
+            assert report.control_messages == 0

@@ -1,0 +1,261 @@
+"""Tests for state tables, the distribution protocol, and overhead accounting."""
+
+import pytest
+
+from repro.state import (
+    ProxyState,
+    ServiceCapabilityTable,
+    StateDistributionProtocol,
+    coordinates_node_states,
+    flat_node_states,
+    mean_coordinates_overhead,
+    mean_service_overhead,
+    service_node_states,
+)
+from repro.util.errors import StateError
+
+
+class TestServiceCapabilityTable:
+    def test_update_and_lookup(self):
+        table = ServiceCapabilityTable()
+        assert table.update("p1", frozenset({"a"}), now=1.0) is True
+        assert table.services_of("p1") == frozenset({"a"})
+        assert table.updated_at("p1") == 1.0
+
+    def test_unchanged_update_returns_false(self):
+        table = ServiceCapabilityTable()
+        table.update("p1", frozenset({"a"}), now=1.0)
+        assert table.update("p1", frozenset({"a"}), now=2.0) is False
+        assert table.updated_at("p1") == 2.0  # timestamp still refreshes
+
+    def test_changed_update_returns_true(self):
+        table = ServiceCapabilityTable()
+        table.update("p1", frozenset({"a"}))
+        assert table.update("p1", frozenset({"a", "b"})) is True
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(StateError):
+            ServiceCapabilityTable().services_of("ghost")
+
+    def test_remove(self):
+        table = ServiceCapabilityTable()
+        table.update("p1", frozenset({"a"}))
+        table.remove("p1")
+        assert "p1" not in table
+        table.remove("p1")  # idempotent
+
+    def test_as_dict_snapshot(self):
+        table = ServiceCapabilityTable()
+        table.update("p1", frozenset({"a"}))
+        snap = table.as_dict()
+        table.update("p2", frozenset({"b"}))
+        assert set(snap) == {"p1"}
+
+    def test_len(self):
+        table = ServiceCapabilityTable()
+        table.update("x", frozenset())
+        table.update("y", frozenset())
+        assert len(table) == 2
+
+
+class TestProxyState:
+    def test_aggregate_own_cluster(self):
+        state = ProxyState(proxy="p1", cluster_id=0)
+        state.sct_p.update("p1", frozenset({"a"}))
+        state.sct_p.update("p2", frozenset({"b", "c"}))
+        assert state.aggregate_own_cluster() == frozenset({"a", "b", "c"})
+
+    def test_local_capability(self):
+        state = ProxyState(proxy="p1", cluster_id=0)
+        state.sct_p.update("p1", frozenset({"a"}))
+        assert state.local_capability() == frozenset({"a"})
+
+
+class TestProtocol:
+    @pytest.fixture(scope="class")
+    def report_and_protocol(self, framework):
+        protocol = StateDistributionProtocol(framework.hfc, seed=5)
+        report = protocol.run(max_time=30000.0)
+        return report, protocol
+
+    def test_converges(self, report_and_protocol):
+        report, protocol = report_and_protocol
+        assert report.converged_at is not None
+        assert protocol.converged()
+
+    def test_sct_p_matches_ground_truth(self, report_and_protocol, framework):
+        _, protocol = report_and_protocol
+        for proxy, state in protocol.states.items():
+            assert state.sct_p.as_dict() == protocol.ground_truth_sct_p(proxy)
+
+    def test_sct_c_matches_ground_truth(self, report_and_protocol):
+        _, protocol = report_and_protocol
+        truth = protocol.ground_truth_sct_c()
+        for state in protocol.states.values():
+            assert state.sct_c.as_dict() == truth
+
+    def test_all_message_kinds_used(self, report_and_protocol, framework):
+        report, _ = report_and_protocol
+        assert report.messages_by_kind.get("local_state", 0) > 0
+        if framework.hfc.cluster_count > 1:
+            assert report.messages_by_kind.get("aggregate_state", 0) > 0
+            assert report.messages_by_kind.get("aggregate_forward", 0) > 0
+
+    def test_message_sizes_accumulate(self, report_and_protocol):
+        report, _ = report_and_protocol
+        assert report.total_size >= report.total_messages  # every service set >= 1
+
+    def test_routing_from_protocol_state(self, report_and_protocol, framework):
+        """Converged SCT_C drives the hierarchical router correctly."""
+        from repro.routing import HierarchicalRouter, validate_path
+
+        _, protocol = report_and_protocol
+        capabilities = protocol.capabilities_for_routing()
+        router = HierarchicalRouter(
+            framework.hfc, cluster_capabilities=capabilities
+        )
+        request = framework.random_request(seed=3)
+        validate_path(router.route(request), request, framework.overlay)
+
+    def test_invalid_periods_rejected(self, framework):
+        with pytest.raises(StateError):
+            StateDistributionProtocol(framework.hfc, local_period=0)
+
+    def test_non_convergence_reported_as_none(self, framework):
+        protocol = StateDistributionProtocol(framework.hfc, seed=5)
+        report = protocol.run(max_time=1.0)  # far too short
+        assert report.converged_at is None
+
+
+class TestOverheadAccounting:
+    def test_flat_is_n(self):
+        assert flat_node_states(250) == 250
+
+    def test_coordinates_node_states_formula(self, framework):
+        hfc = framework.hfc
+        states = coordinates_node_states(hfc)
+        borders = set(hfc.all_border_nodes())
+        for proxy, value in states.items():
+            members = set(hfc.members(hfc.cluster_of(proxy)))
+            assert value == len(members) + len(borders - members)
+
+    def test_service_node_states_formula(self, framework):
+        hfc = framework.hfc
+        states = service_node_states(hfc)
+        for proxy, value in states.items():
+            members = hfc.members(hfc.cluster_of(proxy))
+            assert value == len(members) + hfc.cluster_count
+
+    def test_every_proxy_accounted(self, framework):
+        assert set(coordinates_node_states(framework.hfc)) == set(
+            framework.overlay.proxies
+        )
+
+    def test_hierarchical_beats_flat(self, framework):
+        """The paper's core claim at this size: HFC keeps far fewer states."""
+        n = framework.overlay.size
+        assert mean_coordinates_overhead(framework.hfc) < n
+        assert mean_service_overhead(framework.hfc) < n
+
+    def test_means_positive(self, framework):
+        assert mean_coordinates_overhead(framework.hfc) > 0
+        assert mean_service_overhead(framework.hfc) > 0
+
+
+class TestProtocolDynamics:
+    def test_reconvergence_after_service_change(self, framework):
+        """Installing a new service mid-run must propagate and re-converge."""
+        from repro.state import StateDistributionProtocol
+
+        protocol = StateDistributionProtocol(framework.hfc, seed=7)
+        first = protocol.run(max_time=30000.0)
+        assert first.converged_at is not None
+
+        victim = framework.overlay.proxies[0]
+        old = framework.overlay.placement[victim]
+        try:
+            protocol.update_local_services(victim, old | {"brand-new-service"})
+            assert not protocol.converged()  # peers do not know yet
+            second = protocol.run(max_time=protocol.sim.now + 30000.0)
+            assert second.converged_at is not None
+            # every proxy in the victim's cluster sees the new SCT_P entry
+            cid = framework.hfc.cluster_of(victim)
+            for member in framework.hfc.members(cid):
+                table = protocol.states[member].sct_p
+                assert "brand-new-service" in table.services_of(victim)
+            # every proxy system-wide sees it in the cluster aggregate
+            for state in protocol.states.values():
+                assert "brand-new-service" in state.sct_c.services_of(cid)
+        finally:
+            framework.overlay.placement[victim] = old
+
+    def test_update_unknown_proxy_rejected(self, framework):
+        from repro.state import StateDistributionProtocol
+        from repro.util.errors import StateError
+
+        protocol = StateDistributionProtocol(framework.hfc, seed=7)
+        with pytest.raises(StateError):
+            protocol.update_local_services(-1, frozenset())
+
+    def test_service_removal_propagates(self, framework):
+        """Uninstalling a service must eventually disappear from aggregates
+        (set-union aggregation handles removals because borders rebuild the
+        union from SCT_P each period rather than merging increments)."""
+        from repro.state import StateDistributionProtocol
+
+        protocol = StateDistributionProtocol(framework.hfc, seed=8)
+        victim = framework.overlay.proxies[0]
+        old = framework.overlay.placement[victim]
+        try:
+            protocol.update_local_services(victim, old | {"temp-service"})
+            report = protocol.run(max_time=30000.0)
+            assert report.converged_at is not None
+            protocol.update_local_services(victim, old)
+            second = protocol.run(max_time=protocol.sim.now + 30000.0)
+            assert second.converged_at is not None
+            cid = framework.hfc.cluster_of(victim)
+            for state in protocol.states.values():
+                assert "temp-service" not in state.sct_c.services_of(cid)
+        finally:
+            framework.overlay.placement[victim] = old
+
+
+class TestProtocolUnderLoss:
+    def test_converges_despite_heavy_loss(self, framework):
+        """The periodic soft-state design must heal 30% message loss."""
+        from repro.state import StateDistributionProtocol
+
+        protocol = StateDistributionProtocol(
+            framework.hfc, loss_rate=0.3, seed=13
+        )
+        report = protocol.run(max_time=60000.0)
+        assert protocol.messages_dropped > 0
+        assert report.converged_at is not None
+
+    def test_loss_slows_convergence(self, framework):
+        from repro.state import StateDistributionProtocol
+
+        clean = StateDistributionProtocol(framework.hfc, seed=14)
+        lossy = StateDistributionProtocol(
+            framework.hfc, loss_rate=0.4, seed=14
+        )
+        t_clean = clean.run(max_time=60000.0).converged_at
+        t_lossy = lossy.run(max_time=60000.0).converged_at
+        assert t_clean is not None and t_lossy is not None
+        assert t_lossy >= t_clean
+
+    def test_invalid_loss_rate_rejected(self, framework):
+        from repro.state import StateDistributionProtocol
+        from repro.util.errors import StateError
+
+        with pytest.raises(StateError):
+            StateDistributionProtocol(framework.hfc, loss_rate=1.0)
+        with pytest.raises(StateError):
+            StateDistributionProtocol(framework.hfc, loss_rate=-0.1)
+
+    def test_zero_loss_drops_nothing(self, framework):
+        from repro.state import StateDistributionProtocol
+
+        protocol = StateDistributionProtocol(framework.hfc, seed=15)
+        protocol.run(max_time=5000.0)
+        assert protocol.messages_dropped == 0

@@ -1,0 +1,103 @@
+"""Tests for the util package (rng, validation, errors)."""
+
+import random
+
+import pytest
+
+from repro.util import (
+    NoFeasiblePathError,
+    ReproError,
+    RoutingError,
+    ensure_rng,
+    spawn,
+)
+from repro.util.validation import (
+    require_at_least,
+    require_in_range,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    require_unique,
+)
+
+
+class TestEnsureRng:
+    def test_int_seed_deterministic(self):
+        assert ensure_rng(5).random() == ensure_rng(5).random()
+
+    def test_rng_passthrough(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_fresh(self):
+        a, b = ensure_rng(None), ensure_rng(None)
+        assert a is not b
+
+
+class TestSpawn:
+    def test_deterministic_per_label(self):
+        a = spawn(ensure_rng(7), "topology").random()
+        b = spawn(ensure_rng(7), "topology").random()
+        assert a == b
+
+    def test_labels_independent(self):
+        parent = ensure_rng(7)
+        a = spawn(parent, "one")
+        b = spawn(parent, "two")
+        assert a.random() != b.random()
+
+    def test_child_isolated_from_parent_consumption(self):
+        """Drawing from one child must not perturb a sibling's stream."""
+        p1 = ensure_rng(7)
+        c1 = spawn(p1, "a")
+        c2 = spawn(p1, "b")
+        c2_values = [c2.random() for _ in range(3)]
+
+        p2 = ensure_rng(7)
+        d1 = spawn(p2, "a")
+        for _ in range(100):
+            d1.random()  # heavy use of the first child
+        d2 = spawn(p2, "b")
+        assert [d2.random() for _ in range(3)] == c2_values
+
+
+class TestValidation:
+    def test_require_positive(self):
+        require_positive("x", 1.0)
+        with pytest.raises(ValueError):
+            require_positive("x", 0.0)
+
+    def test_require_non_negative(self):
+        require_non_negative("x", 0.0)
+        with pytest.raises(ValueError):
+            require_non_negative("x", -0.1)
+
+    def test_require_in_range(self):
+        require_in_range("x", 5, 0, 10)
+        with pytest.raises(ValueError):
+            require_in_range("x", 11, 0, 10)
+
+    def test_require_at_least(self):
+        require_at_least("x", 3, 3)
+        with pytest.raises(ValueError):
+            require_at_least("x", 2, 3)
+
+    def test_require_non_empty(self):
+        require_non_empty("x", [1])
+        with pytest.raises(ValueError):
+            require_non_empty("x", [])
+
+    def test_require_unique(self):
+        require_unique("x", [1, 2, 3])
+        with pytest.raises(ValueError):
+            require_unique("x", [1, 1])
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(NoFeasiblePathError, RoutingError)
+        assert issubclass(RoutingError, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise NoFeasiblePathError("nope")
