@@ -7,10 +7,12 @@ Commands:
 * ``fig9``    — regenerate Fig 9 (state-maintenance overhead);
 * ``fig10``   — regenerate Fig 10 (service-path efficiency);
 * ``report``  — regenerate the complete evaluation as one markdown report;
-* ``protocol``— run the Section-4 state protocol and print its cost.
+* ``protocol``— run the Section-4 state protocol and print its cost;
+* ``telemetry`` — exercise every instrumented layer and dump the metrics.
 
 Common flags: ``--scale`` (fraction of paper sizes), ``--seed``,
-``--json FILE`` (machine-readable output where supported).
+``--json FILE`` (machine-readable output), ``--telemetry-out FILE``
+(dump the process-wide telemetry snapshot collected during the command).
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ from repro.experiments.serialize import (
     overhead_to_dict,
 )
 from repro.routing import validate_path
+from repro.telemetry import get_telemetry
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -40,6 +43,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", metavar="FILE", default=None,
                         help="also write results as JSON")
+    parser.add_argument("--telemetry-out", metavar="FILE", default=None,
+                        help="write the collected telemetry snapshot as JSON")
+
+
+def _dump_telemetry(args: argparse.Namespace) -> None:
+    """Honour ``--telemetry-out`` after a command has run."""
+    target = getattr(args, "telemetry_out", None)
+    if target:
+        get_telemetry().dump_json(target)
+        print(f"telemetry snapshot written to {target}")
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -129,13 +142,72 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_protocol(args: argparse.Namespace) -> int:
+    from repro.state.protocol import StateDistributionProtocol
+
     framework = HFCFramework.build(proxy_count=args.proxies, seed=args.seed)
     print(framework.describe())
-    report = framework.run_state_protocol(seed=args.seed + 1)
+    protocol = StateDistributionProtocol(framework.hfc, seed=args.seed + 1)
+    report = protocol.run()
+    protocol.sim.telemetry.publish()
     rows = [[kind, count] for kind, count in sorted(report.messages_by_kind.items())]
     rows.append(["total", report.total_messages])
     print(ascii_table(["message kind", "count"], rows))
     print(f"converged at t={report.converged_at}")
+    if args.json:
+        dump_json(report.to_dict(), args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Exercise every instrumented layer once and print the metrics."""
+    from repro.state.protocol import StateDistributionProtocol
+
+    telemetry = get_telemetry()
+    framework = HFCFramework.build(proxy_count=args.proxies, seed=args.seed)
+    print(framework.describe())
+
+    router = framework.cached_hierarchical_router()
+    routed = 0
+    for i in range(args.requests):
+        request = framework.random_request(seed=args.seed + 100 + i % 5)
+        try:
+            router.route(request)
+            routed += 1
+        except Exception:
+            pass
+    print(f"routed {routed}/{args.requests} requests "
+          f"(cache hit rate {router.stats.hit_rate:.0%})")
+
+    protocol = StateDistributionProtocol(framework.hfc, seed=args.seed + 1)
+    protocol_report = protocol.run(max_time=10000.0)
+    protocol.sim.telemetry.publish()
+    print(f"protocol: {protocol_report.total_messages} messages, "
+          f"converged at t={protocol_report.converged_at}")
+
+    snapshot = telemetry.snapshot()
+    counter_rows = [
+        [c["name"],
+         ",".join(f"{k}={v}" for k, v in sorted(c["labels"].items())) or "-",
+         c["value"]]
+        for c in snapshot["metrics"]["counters"]
+    ]
+    print(ascii_table(["counter", "labels", "value"], counter_rows))
+    histogram_rows = [
+        [h["name"],
+         ",".join(f"{k}={v}" for k, v in sorted(h["labels"].items())) or "-",
+         h["count"],
+         "-" if h["p50"] is None else f"{h['p50']:.3g}",
+         "-" if h["p95"] is None else f"{h['p95']:.3g}"]
+        for h in snapshot["metrics"]["histograms"]
+    ]
+    print(ascii_table(["histogram", "labels", "count", "p50", "p95"],
+                      histogram_rows))
+    print(f"spans finished: {snapshot['spans']['finished']}, "
+          f"events recorded: {snapshot['events']['recorded']}")
+    if args.json:
+        telemetry.dump_json(args.json)
+        print(f"telemetry snapshot written to {args.json}")
     return 0
 
 
@@ -181,12 +253,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(protocol)
     protocol.set_defaults(fn=cmd_protocol)
 
+    telemetry = sub.add_parser(
+        "telemetry", help="exercise the instrumented layers, dump the metrics"
+    )
+    telemetry.add_argument("--proxies", type=int, default=60)
+    telemetry.add_argument("--requests", type=int, default=25)
+    _add_common(telemetry)
+    telemetry.set_defaults(fn=cmd_telemetry)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    code = args.fn(args)
+    try:
+        _dump_telemetry(args)
+    except OSError as exc:
+        print(f"error: could not write telemetry snapshot: {exc}",
+              file=sys.stderr)
+        return 1
+    return code
 
 
 if __name__ == "__main__":

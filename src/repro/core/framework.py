@@ -149,6 +149,16 @@ class HFCFramework:
         """The paper's divide-and-conquer router (HFC with aggregation)."""
         return HierarchicalRouter(self.hfc, method=method)
 
+    def cached_hierarchical_router(
+        self, method: str = "backtrack", cache_size: int = 1024
+    ):
+        """The hierarchical router with CSP memoisation (production shape)."""
+        from repro.routing.cache import CachedHierarchicalRouter
+
+        return CachedHierarchicalRouter(
+            self.hfc, method=method, cache_size=cache_size
+        )
+
     def mesh_router(self, *, seed: RngLike = None, mesh: Optional[Graph] = None) -> MeshRouter:
         """The single-level mesh baseline router."""
         if mesh is None:

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.netsim.eventsim import Message, Process, Simulator
 from repro.overlay.network import OverlayNetwork, ProxyId
 from repro.routing.path import ServicePath
+from repro.telemetry import Telemetry
 from repro.util.errors import RoutingError
 
 #: builds a replacement path avoiding the given proxies (or raises)
@@ -156,6 +157,7 @@ class StreamingSession:
         packet_interval: float = 5.0,
         processing_delay: float = 1.0,
         detection_margin: float = 20.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if packet_count < 1:
             raise RoutingError("packet_count must be >= 1")
@@ -171,7 +173,7 @@ class StreamingSession:
         self.fail_times: Dict[ProxyId, float] = {}
         self.rerouter: Optional[Rerouter] = None
         self.recovery_triggered = False
-        self.sim = Simulator()
+        self.sim = Simulator(telemetry=telemetry)
         self.report = SessionReport(
             records=[],
             nominal_latency=path_nominal_latency(
@@ -202,6 +204,10 @@ class StreamingSession:
         self.fail_times = dict(failures)
         self.rerouter = rerouter
         self.report.failed_proxies = tuple(sorted(failures, key=repr))
+        for proxy, fail_time in sorted(failures.items(), key=lambda kv: repr(kv[0])):
+            self.sim.telemetry.events.record(
+                "session.failure_injected", proxy=proxy, fail_time=fail_time
+            )
 
         self.sim.register(self._watchdog)
         self._register_version(1)
@@ -216,7 +222,27 @@ class StreamingSession:
             self.sim.schedule(deadline, lambda s=seq: self._watchdog.check(s))
         self.sim.run_all()
         self.report.final_path = self.paths[self.active_version]
+        self._record_outcome()
         return self.report
+
+    def _record_outcome(self) -> None:
+        """Aggregate the packet fates into the session's telemetry scope."""
+        telemetry = self.sim.telemetry
+        registry = telemetry.registry
+        delivered = registry.counter("session.packets", outcome="delivered")
+        lost = registry.counter("session.packets", outcome="lost")
+        latency = registry.histogram("session.packet.latency")
+        for record in self.report.records:
+            if record.latency is not None:
+                delivered.inc()
+                latency.observe(record.latency)
+            else:
+                lost.inc()
+        if self.report.recovered_at is not None:
+            registry.histogram("session.recovery.time").observe(
+                self.report.recovered_at - (self.report.recovery_started_at or 0.0)
+            )
+        telemetry.publish()
 
     # -- internals ----------------------------------------------------------------
 
@@ -245,10 +271,18 @@ class StreamingSession:
                 and record.path_version > 1
             ):
                 self.report.recovered_at = now
+                self.sim.telemetry.events.record(
+                    "session.recovered", seq=seq, path_version=record.path_version
+                )
 
     def _trigger_recovery(self) -> None:
         self.recovery_triggered = True
         self.report.recovery_started_at = self.sim.now
+        self.sim.telemetry.events.record(
+            "session.recovery_started",
+            failed=sorted(self.failed, key=repr),
+            rerouter=self.rerouter is not None,
+        )
         if self.rerouter is None:
             return
         new_path = self.rerouter(self.failed)

@@ -28,11 +28,52 @@ from repro.experiments.ablations import (
     run_mesh_information_ablation,
     run_method_ablation,
 )
-from repro.experiments.environments import EnvironmentSpec, scaled_table1
+from repro.experiments.environments import EnvironmentSpec, build_environment, scaled_table1
 from repro.experiments.overhead import run_overhead_experiment
 from repro.experiments.path_efficiency import run_path_efficiency
 from repro.experiments.report import ascii_table
+from repro.state.protocol import StateDistributionProtocol
 from repro.util.rng import RngLike, ensure_rng, spawn
+
+
+def render_protocol_cost(spec: EnvironmentSpec, *, seed: RngLike = 0) -> str:
+    """Run the Section-4 protocol on *spec* and render its cost summary.
+
+    The run's telemetry scope (per-kind delivery counts/bytes and latency
+    histograms) is published into the process-wide registry, so a report
+    generated with ``--telemetry-out`` carries the protocol's metrics.
+    """
+    rng = ensure_rng(seed)
+    env = build_environment(spec, seed=spawn(rng, "env"))
+    protocol = StateDistributionProtocol(
+        env.framework.hfc, seed=spawn(rng, "protocol")
+    )
+    report = protocol.run(max_time=30000.0)
+    protocol.sim.telemetry.publish()
+    rows = []
+    for kind in sorted(report.messages_by_kind):
+        latency = report.delivery_latency.get(kind, {})
+        rows.append([
+            kind,
+            report.messages_by_kind[kind],
+            f"{latency.get('p50', float('nan')):.1f}",
+            f"{latency.get('p95', float('nan')):.1f}",
+        ])
+    rows.append(["total", report.total_messages, "", ""])
+    table = ascii_table(
+        ["message kind", "delivered", "latency p50 (ms)", "latency p95 (ms)"],
+        rows,
+    )
+    converged = (
+        f"converged at t={report.converged_at:.0f}"
+        if report.converged_at is not None
+        else "did not converge"
+    )
+    return (
+        f"{spec.proxies} proxies, "
+        f"{env.framework.clustering.cluster_count} clusters — {converged}, "
+        f"{report.total_size} size units delivered\n{table}"
+    )
 
 
 def generate_full_report(
@@ -87,6 +128,10 @@ def generate_full_report(
         seed=spawn(rng, "fig10"),
     )
     sections.append(efficiency.render())
+    sections.append("")
+
+    sections.append("## Protocol cost — Section 4 state distribution")
+    sections.append(render_protocol_cost(specs[0], seed=spawn(rng, "protocol")))
     sections.append("")
 
     if include_ablations:

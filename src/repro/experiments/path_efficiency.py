@@ -74,7 +74,10 @@ def _routers_for(environment: Environment, strategies: Sequence[str], seed) -> D
         if name == "mesh":
             routers[name] = framework.mesh_router(seed=seed)
         elif name == "hfc_agg":
-            routers[name] = framework.hierarchical_router()
+            # CSP memoisation changes nothing semantically (capabilities are
+            # fixed for the run) but reflects the production configuration
+            # and feeds the cache hit/miss telemetry.
+            routers[name] = framework.cached_hierarchical_router()
         elif name == "hfc_full":
             routers[name] = framework.full_state_router()
         elif name == "flat":

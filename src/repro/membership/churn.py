@@ -30,6 +30,7 @@ from repro.core.framework import HFCFramework
 from repro.overlay.hfc import HFCTopology, build_hfc
 from repro.overlay.network import OverlayNetwork, ProxyId
 from repro.services.catalog import ServiceName
+from repro.telemetry import Telemetry, get_telemetry
 from repro.util.errors import MembershipError
 from repro.util.rng import RngLike, ensure_rng
 
@@ -61,8 +62,12 @@ class DynamicOverlay:
     #: ``restructure_tolerance * fresh_quality`` (None disables)
     restructure_tolerance: Optional[float] = 0.7
     history: List[ChurnEvent] = field(default_factory=list)
+    #: observability scope (default: the process-wide one)
+    telemetry: Optional[Telemetry] = None
 
     def __post_init__(self) -> None:
+        if self.telemetry is None:
+            self.telemetry = get_telemetry()
         fw = self.framework
         self._coords: Dict[ProxyId, tuple] = {
             p: fw.space.coordinate(p) for p in fw.overlay.proxies
@@ -181,13 +186,27 @@ class DynamicOverlay:
         self.hfc: HFCTopology = build_hfc(self.overlay, self.clustering)
 
     def _record(self, kind: str, proxy: Optional[ProxyId]) -> None:
+        quality = self.quality()
+        cluster = self._labels.get(proxy) if proxy is not None else None
         self.history.append(
             ChurnEvent(
-                kind=kind,
-                proxy=proxy,
-                cluster=self._labels.get(proxy) if proxy is not None else None,
-                quality_after=self.quality(),
+                kind=kind, proxy=proxy, cluster=cluster, quality_after=quality
             )
+        )
+        telemetry = self.telemetry
+        assert telemetry is not None
+        telemetry.events.record(
+            f"membership.{kind}",
+            proxy=proxy,
+            cluster=cluster,
+            overlay_size=self.size,
+            clusters=self.clustering.cluster_count,
+            quality=quality,
+        )
+        telemetry.registry.counter("membership.events", kind=kind).inc()
+        telemetry.registry.gauge("membership.overlay_size").set(self.size)
+        telemetry.registry.gauge("membership.cluster_count").set(
+            self.clustering.cluster_count
         )
 
     def _maybe_restructure(self) -> None:

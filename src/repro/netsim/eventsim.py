@@ -14,10 +14,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
+from repro.telemetry import Counter, Histogram, Telemetry, get_telemetry
 from repro.util.errors import StateError
+
+#: delivery-latency histogram buckets (simulated ms)
+DELIVERY_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
 
 Address = Hashable
 
@@ -43,16 +50,67 @@ class Message:
 
 
 class Simulator:
-    """Event heap with simulated clock and message-delivery bookkeeping."""
+    """Event heap with simulated clock and message-delivery bookkeeping.
 
-    def __init__(self) -> None:
+    Every simulator owns a private :class:`~repro.telemetry.Telemetry`
+    scope (pass one to share): per-kind delivered-message/byte counters
+    and delivery-latency histograms accumulate there, and the run loops
+    mark the simulator as the active clock source so spans and events
+    emitted by code running under the engine are stamped with ``now``.
+    A finished experiment folds the scope into the process-wide one with
+    ``sim.telemetry.publish()``.
+    """
+
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._processes: Dict[Address, "Process"] = {}
-        #: running totals, exposed for protocol-overhead experiments
-        self.messages_delivered: int = 0
-        self.bytes_delivered: int = 0
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: per-kind (message counter, byte counter, latency histogram)
+        self._delivery_handles: Dict[str, Tuple[Counter, Counter, Histogram]] = {}
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def messages_delivered(self) -> int:
+        """Total delivered messages (all kinds), from the metrics registry."""
+        return self.telemetry.registry.total("sim.messages.delivered")
+
+    @property
+    def bytes_delivered(self) -> int:
+        """Total delivered size units (all kinds), from the registry."""
+        return self.telemetry.registry.total("sim.bytes.delivered")
+
+    def _record_delivery(self, message: Message, latency: float) -> None:
+        handles = self._delivery_handles.get(message.kind)
+        if handles is None:
+            registry = self.telemetry.registry
+            handles = (
+                registry.counter("sim.messages.delivered", kind=message.kind),
+                registry.counter("sim.bytes.delivered", kind=message.kind),
+                registry.histogram(
+                    "sim.delivery.latency",
+                    DELIVERY_LATENCY_BUCKETS,
+                    kind=message.kind,
+                ),
+            )
+            self._delivery_handles[message.kind] = handles
+        messages, size_units, latency_hist = handles
+        messages.inc()
+        size_units.inc(message.size)
+        latency_hist.observe(latency)
+
+    @contextmanager
+    def _running(self) -> Iterator[None]:
+        """Mark this simulator as the active clock source while executing."""
+        default = get_telemetry()
+        with self.telemetry.simulation(self):
+            if default is self.telemetry:
+                yield
+            else:
+                with default.simulation(self):
+                    yield
 
     # -- process registry ----------------------------------------------------
 
@@ -105,10 +163,10 @@ class Simulator:
 
     def send(self, message: Message, delay: float) -> None:
         """Deliver *message* to its recipient after *delay* units."""
+        sent_at = self.now
 
         def deliver() -> None:
-            self.messages_delivered += 1
-            self.bytes_delivered += message.size
+            self._record_delivery(message, self.now - sent_at)
             self.process(message.recipient).receive(message)
 
         self.schedule(delay, deliver)
@@ -117,20 +175,22 @@ class Simulator:
 
     def run_until(self, end_time: float) -> None:
         """Process events with timestamp <= *end_time*; clock ends there."""
-        while self._heap and self._heap[0][0] <= end_time:
-            time, _, action = heapq.heappop(self._heap)
-            self.now = time
-            action()
-        self.now = max(self.now, end_time)
+        with self._running():
+            while self._heap and self._heap[0][0] <= end_time:
+                time, _, action = heapq.heappop(self._heap)
+                self.now = time
+                action()
+            self.now = max(self.now, end_time)
 
     def run_all(self, max_events: int = 1_000_000) -> None:
         """Drain the event heap completely (bounded by *max_events*)."""
-        for _ in range(max_events):
-            if not self._heap:
-                return
-            time, _, action = heapq.heappop(self._heap)
-            self.now = time
-            action()
+        with self._running():
+            for _ in range(max_events):
+                if not self._heap:
+                    return
+                time, _, action = heapq.heappop(self._heap)
+                self.now = time
+                action()
         raise StateError(f"run_all exceeded {max_events} events; runaway schedule?")
 
     @property

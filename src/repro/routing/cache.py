@@ -56,6 +56,12 @@ class CachedHierarchicalRouter(HierarchicalRouter):
         self._cache_size = cache_size
         self._cache: "OrderedDict[Hashable, ClusterServicePath]" = OrderedDict()
         self.stats = CacheStats()
+        registry = self.telemetry.registry
+        self._hit_counter = registry.counter("routing.cache.hits", cache="csp")
+        self._miss_counter = registry.counter("routing.cache.misses", cache="csp")
+        self._invalidation_counter = registry.counter(
+            "routing.cache.invalidations", cache="csp"
+        )
 
     def _key(self, request: ServiceRequest) -> Hashable:
         return (
@@ -70,8 +76,10 @@ class CachedHierarchicalRouter(HierarchicalRouter):
         if cached is not None:
             self._cache.move_to_end(key)
             self.stats.hits += 1
+            self._hit_counter.inc()
             return cached
         self.stats.misses += 1
+        self._miss_counter.inc()
         csp = super().cluster_level_path(request)
         self._cache[key] = csp
         if len(self._cache) > self._cache_size:
@@ -82,6 +90,7 @@ class CachedHierarchicalRouter(HierarchicalRouter):
         """Drop every cached CSP (call when SCT_C content changes)."""
         self._cache.clear()
         self.stats.invalidations += 1
+        self._invalidation_counter.inc()
 
     def update_capabilities(self, cluster_capabilities) -> None:
         """Replace SCT_C and invalidate the cache in one step."""

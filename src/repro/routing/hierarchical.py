@@ -42,6 +42,7 @@ from repro.services.catalog import ServiceName
 from repro.services.graph import ServiceGraph, SlotId, linear_graph
 from repro.services.placement import aggregate_capability
 from repro.services.request import ServiceRequest
+from repro.telemetry import Telemetry, get_telemetry
 from repro.util.errors import NoFeasiblePathError, RoutingError
 
 ClusterId = int
@@ -105,6 +106,7 @@ class HierarchicalRouter:
         method: str = "backtrack",
         cluster_capabilities: Optional[Dict[ClusterId, FrozenSet[ServiceName]]] = None,
         use_numpy: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         """
         Args:
@@ -115,12 +117,16 @@ class HierarchicalRouter:
                 aggregation of the current placement (a converged state
                 protocol). Pass protocol-produced tables to study staleness.
             use_numpy: solver choice for the intra-cluster step.
+            telemetry: observability scope; defaults to the process-wide
+                one (every resolution opens a ``route`` span tree and
+                bumps the request counters).
         """
         if method not in METHODS:
             raise RoutingError(f"method must be one of {METHODS}, got {method!r}")
         self.hfc = hfc
         self.method = method
         self.use_numpy = use_numpy
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         if cluster_capabilities is None:
             cluster_capabilities = {
                 cid: aggregate_capability(hfc.overlay.placement, hfc.members(cid))
@@ -137,10 +143,28 @@ class HierarchicalRouter:
 
     def route_detailed(self, request: ServiceRequest) -> HierarchicalResult:
         """Resolve *request*, keeping the CSP and the child decomposition."""
-        csp = self.cluster_level_path(request)
-        children = self.dissect(request, csp)
-        child_paths = [self.solve_child(request, child) for child in children]
-        path = self.compose(request, child_paths)
+        tracer = self.telemetry.tracer
+        registry = self.telemetry.registry
+        with tracer.span("route", router="hierarchical", method=self.method):
+            try:
+                with tracer.span("route.csp"):
+                    csp = self.cluster_level_path(request)
+                with tracer.span("route.dissect"):
+                    children = self.dissect(request, csp)
+                with tracer.span("route.conquer", children=len(children)):
+                    child_paths = [
+                        self.solve_child(request, child) for child in children
+                    ]
+                with tracer.span("route.compose"):
+                    path = self.compose(request, child_paths)
+            except NoFeasiblePathError:
+                registry.counter(
+                    "routing.requests", router="hierarchical", outcome="infeasible"
+                ).inc()
+                raise
+        registry.counter(
+            "routing.requests", router="hierarchical", outcome="ok"
+        ).inc()
         return HierarchicalResult(
             path=path, csp=csp, child_requests=children, child_paths=child_paths
         )

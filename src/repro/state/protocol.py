@@ -42,18 +42,40 @@ ClusterId = int
 class ProtocolReport:
     """Cost and convergence summary of a protocol run.
 
+    Derived from the simulator's metrics registry (the engine counts every
+    delivery per kind), not from hand-rolled tallies.
+
     Attributes:
         converged_at: simulated time at which every proxy's tables matched
             ground truth (None if the run ended first).
         messages_by_kind: delivered message counts per kind.
         total_messages: all delivered messages.
         total_size: sum of message sizes (service-name count proxy).
+        messages_dropped: messages lost to the configured loss rate.
+        delivery_latency: per-kind ``{p50, p95, p99, mean}`` summaries of
+            message delivery latency (simulated ms).
     """
 
     converged_at: Optional[float]
     messages_by_kind: Dict[str, int]
     total_messages: int
     total_size: int
+    messages_dropped: int = 0
+    delivery_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dump (the CLI's ``protocol --json``)."""
+        return {
+            "converged_at": self.converged_at,
+            "messages_by_kind": dict(self.messages_by_kind),
+            "total_messages": self.total_messages,
+            "total_size": self.total_size,
+            "messages_dropped": self.messages_dropped,
+            "delivery_latency": {
+                kind: dict(summary)
+                for kind, summary in self.delivery_latency.items()
+            },
+        }
 
 
 class _ProxyAgent(Process):
@@ -161,6 +183,7 @@ class StateDistributionProtocol:
         aggregate_period: float = 1000.0,
         loss_rate: float = 0.0,
         seed: RngLike = None,
+        telemetry=None,
     ) -> None:
         if local_period <= 0 or aggregate_period <= 0:
             raise StateError("protocol periods must be positive")
@@ -172,9 +195,11 @@ class StateDistributionProtocol:
         #: probability that any single protocol message is silently dropped;
         #: the periodic soft-state design must converge regardless
         self.loss_rate = loss_rate
-        self.messages_dropped = 0
         self._rng = ensure_rng(seed)
-        self.sim = Simulator()
+        self.sim = Simulator(telemetry=telemetry)
+        self._dropped = self.sim.telemetry.registry.counter(
+            "protocol.messages.dropped"
+        )
 
         self.cluster_members: Dict[ClusterId, List[ProxyId]] = {
             cid: list(hfc.members(cid)) for cid in range(hfc.cluster_count)
@@ -195,9 +220,8 @@ class StateDistributionProtocol:
             state.sct_c.update(state.cluster_id, hfc.overlay.placement[proxy], now=0.0)
             self.states[proxy] = state
 
-        self._message_counts: Dict[str, int] = {}
         for proxy in hfc.overlay.proxies:
-            self.sim.register(_CountingAgent(proxy, self))
+            self.sim.register(_ProxyAgent(proxy, self))
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -205,15 +229,17 @@ class StateDistributionProtocol:
         """Message latency between two proxies (ground-truth delay)."""
         return self.hfc.overlay.true_delay(u, v)
 
+    @property
+    def messages_dropped(self) -> int:
+        """Messages lost to the configured loss rate so far."""
+        return self._dropped.value
+
     def should_drop(self) -> bool:
         """Bernoulli(loss_rate) draw; counts drops for reporting."""
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
-            self.messages_dropped += 1
+            self._dropped.inc()
             return True
         return False
-
-    def _count(self, kind: str) -> None:
-        self._message_counts[kind] = self._message_counts.get(kind, 0) + 1
 
     # -- dynamics ----------------------------------------------------------------
 
@@ -288,11 +314,26 @@ class StateDistributionProtocol:
                 converged_at = self.sim.now
                 if stop_on_convergence:
                     break
+        registry = self.sim.telemetry.registry
+        latency_summaries: Dict[str, Dict[str, float]] = {}
+        for hist in registry.collect("sim.delivery.latency"):
+            if hist.count:
+                kind = dict(hist.labels)["kind"]
+                latency_summaries[kind] = {
+                    "p50": hist.quantile(0.50),
+                    "p95": hist.quantile(0.95),
+                    "p99": hist.quantile(0.99),
+                    "mean": hist.mean,
+                }
         return ProtocolReport(
             converged_at=converged_at,
-            messages_by_kind=dict(self._message_counts),
+            messages_by_kind=registry.values_by_label(
+                "sim.messages.delivered", "kind"
+            ),
             total_messages=self.sim.messages_delivered,
             total_size=self.sim.bytes_delivered,
+            messages_dropped=self.messages_dropped,
+            delivery_latency=latency_summaries,
         )
 
     def capabilities_for_routing(self) -> Dict[ClusterId, FrozenSet[ServiceName]]:
@@ -308,11 +349,3 @@ class StateDistributionProtocol:
             for cid in range(self.hfc.cluster_count)
             if cid in observer.sct_c
         }
-
-
-class _CountingAgent(_ProxyAgent):
-    """Proxy agent that also feeds the protocol's per-kind message counter."""
-
-    def receive(self, message: Message) -> None:
-        self.protocol._count(message.kind)
-        super().receive(message)

@@ -50,3 +50,7 @@ class StateError(ReproError):
 
 class MembershipError(ReproError):
     """Dynamic membership operation was invalid (e.g. unknown proxy)."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry primitive was declared or used inconsistently."""

@@ -15,6 +15,7 @@ from repro.experiments.serialize import (
     efficiency_to_dict,
     overhead_to_dict,
 )
+from repro.telemetry import Telemetry, use_telemetry
 
 TINY = EnvironmentSpec(physical_nodes=150, landmarks=10, proxies=40, clients=10)
 
@@ -74,6 +75,20 @@ class TestCommands:
         assert "local_state" in out
         assert "converged" in out
 
+    def test_protocol_with_json(self, capsys, tmp_path):
+        target = tmp_path / "protocol.json"
+        code = main([
+            "protocol", "--proxies", "40", "--seed", "3",
+            "--json", str(target),
+        ])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["messages_by_kind"]["local_state"] > 0
+        assert payload["total_messages"] == sum(
+            payload["messages_by_kind"].values()
+        )
+        assert "p95" in payload["delivery_latency"]["local_state"]
+
 
 class TestSerialize:
     def test_overhead_roundtrip(self, tmp_path):
@@ -95,6 +110,49 @@ class TestSerialize:
         dump_json(payload, str(target))
         loaded = json.loads(target.read_text())
         assert loaded["points"][0]["mean_delay"]["hfc_agg"] > 0
+
+
+class TestTelemetryCLI:
+    """The ``telemetry`` subcommand and the shared ``--telemetry-out`` flag."""
+
+    def test_telemetry_command_prints_metrics(self, capsys):
+        with use_telemetry(Telemetry()):
+            code = main([
+                "telemetry", "--proxies", "40", "--requests", "6", "--seed", "3",
+            ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "routing.requests" in out
+        assert "sim.messages.delivered" in out
+        assert "sim.delivery.latency" in out
+        assert "spans finished" in out
+
+    def test_telemetry_command_json_snapshot(self, capsys, tmp_path):
+        target = tmp_path / "telemetry.json"
+        with use_telemetry(Telemetry()):
+            code = main([
+                "telemetry", "--proxies", "40", "--requests", "6",
+                "--seed", "3", "--json", str(target),
+            ])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        names = {c["name"] for c in payload["metrics"]["counters"]}
+        assert "routing.cache.hits" in names or "routing.cache.misses" in names
+        assert payload["spans"]["finished"] > 0
+
+    def test_telemetry_out_flag_on_protocol(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        with use_telemetry(Telemetry()):
+            code = main([
+                "protocol", "--proxies", "40", "--seed", "3",
+                "--telemetry-out", str(target),
+            ])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        counters = {c["name"] for c in payload["metrics"]["counters"]}
+        assert "sim.messages.delivered" in counters
+        histograms = {h["name"] for h in payload["metrics"]["histograms"]}
+        assert "sim.delivery.latency" in histograms
 
 
 class TestReportCommand:
