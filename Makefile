@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full examples clean lint bench-smoke ci
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,29 @@ bench-output:
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+# Lint/typecheck exactly as the CI lint job does; skipped with a notice when
+# the tools are not installed (they are not part of the runtime deps).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro benchmarks scripts tests; \
+	else echo "ruff not installed; skipping (CI runs it)"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else echo "mypy not installed; skipping (CI runs it)"; fi
+
+# The CI bench-smoke job: regenerate the small-scale construction bench and
+# gate the speedup ratio against the committed baseline.
+bench-smoke:
+	cp BENCH_construction.json /tmp/bench_baseline.json
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_construction.py --benchmark-only -q
+	$(PYTHON) scripts/check_bench_regression.py /tmp/bench_baseline.json BENCH_construction.json --tolerance 0.25
+
+# Mirror the full CI workflow locally: tier-1 tests, lint, bench smoke + gate.
+ci:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(MAKE) lint
+	$(MAKE) bench-smoke
 
 clean:
 	rm -rf build *.egg-info benchmarks/out .pytest_cache

@@ -8,7 +8,6 @@ mismatched (uniform) demand model. What placement alone buys routing.
 
 import random
 
-from repro.cluster import cluster_nodes
 from repro.core import HFCFramework
 from repro.experiments import ascii_table, scaled_table1
 from repro.overlay import OverlayNetwork, build_hfc

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate for the construction pipeline.
+
+Compares a freshly generated ``BENCH_construction.json`` against the
+baseline committed to the repository and fails (exit 1) when the
+end-to-end construction speedup regresses by more than ``--tolerance``
+(default 25%).
+
+The gate compares the dimensionless speedup ratio
+(``reference_seconds.total / vectorized_seconds.total``), not absolute
+wall-clock: both code paths run on the same machine in the same job, so
+the ratio is stable across runner hardware while raw seconds are not.
+
+Usage (the CI bench job)::
+
+    cp BENCH_construction.json /tmp/bench_baseline.json     # committed
+    pytest benchmarks/bench_construction.py --benchmark-only  # regenerates
+    python scripts/check_bench_regression.py \\
+        /tmp/bench_baseline.json BENCH_construction.json
+
+Entries are keyed by scale (``small``/``full``); only keys present in
+BOTH files with the same workload size are gated, so the small CI smoke
+run is never compared against the full n=2000 baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_entries(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    entries = data.get("entries")
+    if not isinstance(entries, dict) or not entries:
+        sys.exit(f"error: {path} has no benchmark entries")
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH json")
+    parser.add_argument("current", type=Path, help="freshly generated BENCH json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_entries(args.baseline)
+    current = load_entries(args.current)
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print(
+            f"no shared scales between {args.baseline} ({sorted(baseline)}) "
+            f"and {args.current} ({sorted(current)}); nothing to gate"
+        )
+        return 0
+
+    failures = []
+    for scale in shared:
+        base, cur = baseline[scale], current[scale]
+        if base.get("proxies") != cur.get("proxies"):
+            print(
+                f"[{scale}] workload changed "
+                f"(n={base.get('proxies')} -> n={cur.get('proxies')}); skipping"
+            )
+            continue
+        base_speedup = float(base["speedup"]["total"])
+        cur_speedup = float(cur["speedup"]["total"])
+        floor = base_speedup * (1.0 - args.tolerance)
+        verdict = "ok" if cur_speedup >= floor else "REGRESSION"
+        print(
+            f"[{scale}] n={cur['proxies']}: speedup {cur_speedup:.2f}x vs "
+            f"baseline {base_speedup:.2f}x (floor {floor:.2f}x) — {verdict}"
+        )
+        if cur_speedup < floor:
+            failures.append(scale)
+
+    if failures:
+        print(
+            f"\nFAIL: construction speedup regressed beyond "
+            f"{args.tolerance:.0%} on: {', '.join(failures)}"
+        )
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,9 @@ substrate), :mod:`repro.coords` (Section 3.1), :mod:`repro.cluster`
 :mod:`repro.qos`.
 """
 
-__version__ = "1.0.0"
-
 from repro.core.config import FrameworkConfig
 from repro.core.framework import HFCFramework
+
+__version__ = "1.0.0"
 
 __all__ = ["FrameworkConfig", "HFCFramework", "__version__"]

@@ -8,7 +8,7 @@ inconsistency-factor ablation.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence
+from typing import Dict, Hashable, List
 
 import numpy as np
 

@@ -8,11 +8,21 @@ from repro.coords.embedding import (
     embed_landmarks,
     embedding_accuracy,
     locate_host,
+    locate_hosts,
+    locate_hosts_parallel,
 )
-from repro.coords.neldermead import MinimizeResult, minimize_with_restarts, nelder_mead
+from repro.coords.neldermead import (
+    BatchMinimizeResult,
+    MinimizeResult,
+    minimize_with_restarts,
+    minimize_with_restarts_batch,
+    nelder_mead,
+    nelder_mead_batch,
+)
 from repro.coords.space import CoordinateSpace
 
 __all__ = [
+    "BatchMinimizeResult",
     "CoordinateSpace",
     "EmbeddingReport",
     "MinimizeResult",
@@ -22,6 +32,10 @@ __all__ = [
     "embed_landmarks",
     "embedding_accuracy",
     "locate_host",
+    "locate_hosts",
+    "locate_hosts_parallel",
     "minimize_with_restarts",
+    "minimize_with_restarts_batch",
     "nelder_mead",
+    "nelder_mead_batch",
 ]

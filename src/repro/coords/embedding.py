@@ -23,7 +23,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.coords.neldermead import minimize_with_restarts, nelder_mead
+from repro.coords.neldermead import (
+    minimize_with_restarts,
+    minimize_with_restarts_batch,
+)
 from repro.coords.space import CoordinateSpace
 from repro.netsim.physical import PhysicalNetwork
 from repro.util.errors import EmbeddingError
@@ -146,6 +149,116 @@ def locate_host(
     return result.x
 
 
+def locate_hosts(
+    landmark_coords: np.ndarray,
+    measured_matrix: np.ndarray,
+    *,
+    max_iterations: int = 800,
+) -> np.ndarray:
+    """Batched :func:`locate_host`: solve every host's coordinates at once.
+
+    Args:
+        landmark_coords: ``(m, k)`` embedded landmark positions.
+        measured_matrix: ``(H, m)`` host-to-landmark delay measurements.
+
+    Each host is an independent k-variable minimization; the batched
+    Nelder-Mead runs all of them through one numpy-level simplex iteration
+    per step instead of H Python-level loops. The starts, tolerances and
+    descent decisions mirror :func:`locate_host` exactly, so the returned
+    ``(H, k)`` coordinates are bit-identical to calling it per host (the
+    equivalence suite asserts this).
+    """
+    landmarks = np.asarray(landmark_coords, dtype=float)
+    measured = np.asarray(measured_matrix, dtype=float)
+    if measured.ndim != 2 or landmarks.ndim != 2:
+        raise EmbeddingError(
+            f"expected (m, k) landmarks and (H, m) measurements, got "
+            f"{landmarks.shape} and {measured.shape}"
+        )
+    if landmarks.shape[0] != measured.shape[1]:
+        raise EmbeddingError(
+            f"{landmarks.shape[0]} landmark coordinates but "
+            f"{measured.shape[1]} measurements per host"
+        )
+    hosts = measured.shape[0]
+    if hosts == 0:
+        return np.zeros((0, landmarks.shape[1]), dtype=float)
+    safe = np.where(measured > 0, measured, 1.0)
+
+    def objective(points: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        diff = landmarks[None, :, :] - points[:, None, :]
+        est = np.sqrt(np.sum(diff**2, axis=2))
+        return np.sum(((est - measured[idx]) / safe[idx]) ** 2, axis=1)
+
+    weights = 1.0 / np.maximum(measured, 1e-9)
+    centroid = (landmarks[None, :, :] * weights[:, :, None]).sum(
+        axis=1
+    ) / weights.sum(axis=1)[:, None]
+    nearest = landmarks[np.argmin(measured, axis=1)]
+    scale = np.max(measured, axis=1)
+    scale = np.where(scale == 0.0, 1.0, scale)
+    starts = np.stack([centroid, nearest], axis=1)
+    result = minimize_with_restarts_batch(
+        objective,
+        starts,
+        initial_step=scale * 0.1,
+        max_iterations=max_iterations,
+        xtol=scale * 1e-7,
+    )
+    return result.x
+
+
+def _locate_hosts_chunk(args) -> np.ndarray:
+    """Process-pool entry point for :func:`locate_hosts` (must pickle)."""
+    landmark_coords, measured_chunk, max_iterations = args
+    return locate_hosts(
+        landmark_coords, measured_chunk, max_iterations=max_iterations
+    )
+
+
+def locate_hosts_parallel(
+    landmark_coords: np.ndarray,
+    measured_matrix: np.ndarray,
+    *,
+    workers: int,
+    max_iterations: int = 800,
+) -> np.ndarray:
+    """:func:`locate_hosts` fanned out over a process pool.
+
+    Hosts embed independently given the landmarks, so the measurement matrix
+    is split into ``workers`` contiguous chunks solved in parallel and
+    re-concatenated in order — the result is identical to the single-process
+    call. Falls back to in-process solving when the pool cannot be spawned
+    (e.g. sandboxed interpreters) or when the batch is too small to amortize
+    process start-up.
+    """
+    measured = np.asarray(measured_matrix, dtype=float)
+    hosts = measured.shape[0]
+    if workers < 1:
+        raise EmbeddingError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, max(1, hosts // 64))
+    if workers <= 1:
+        return locate_hosts(
+            landmark_coords, measured, max_iterations=max_iterations
+        )
+    chunks = np.array_split(np.arange(hosts), workers)
+    jobs = [
+        (np.asarray(landmark_coords, dtype=float), measured[c], max_iterations)
+        for c in chunks
+        if c.size
+    ]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
+            parts = list(pool.map(_locate_hosts_chunk, jobs))
+    except (OSError, PermissionError, ImportError):
+        return locate_hosts(
+            landmark_coords, measured, max_iterations=max_iterations
+        )
+    return np.concatenate(parts, axis=0)
+
+
 @dataclass
 class EmbeddingReport:
     """Diagnostics of a completed embedding.
@@ -201,6 +314,9 @@ def build_coordinate_space(
     dimension: int = 2,
     probes: int = 3,
     seed: RngLike = None,
+    vectorized: bool = True,
+    workers: Optional[int] = None,
+    telemetry=None,
 ) -> Tuple[CoordinateSpace, EmbeddingReport]:
     """End-to-end distance-map construction for *hosts* (paper Section 3.1).
 
@@ -212,9 +328,25 @@ def build_coordinate_space(
         dimension: coordinate-space dimension k (paper uses 2).
         probes: measurements per pair; the minimum is kept.
         seed: RNG seed for landmark choice and refinement starts.
+        vectorized: solve every ordinary host's coordinates with the batched
+            Nelder-Mead over one measurement matrix (the fast default).
+            ``False`` runs the original per-host loop — kept as the reference
+            path for the equivalence suite. Both modes consume the RNG in
+            the identical order; host-to-landmark *true* delays are computed
+            from the landmark side in vectorized mode (m Dijkstra sweeps
+            instead of n), which can shift measurements by float summation
+            order (ulps) but yields the same clusters and borders.
+        workers: optional process-pool fan-out for the per-host solves
+            (hosts embed independently given the landmarks). ``None`` or 1
+            solves in-process.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` scope for
+            construction-phase spans; defaults to the process scope.
 
     Returns the coordinate space over *hosts* plus an :class:`EmbeddingReport`.
     """
+    from repro.telemetry import get_telemetry
+
+    telemetry = telemetry if telemetry is not None else get_telemetry()
     rng = ensure_rng(seed)
     if landmarks is None:
         landmarks = choose_landmarks(physical, landmark_count, rng)
@@ -222,31 +354,64 @@ def build_coordinate_space(
     m = len(landmarks)
     measurement_count = 0
 
-    measured = np.zeros((m, m), dtype=float)
-    for i in range(m):
-        for j in range(i + 1, m):
-            value = physical.measure(landmarks[i], landmarks[j], probes=probes)
-            measurement_count += probes
-            measured[i, j] = measured[j, i] = value
+    with telemetry.tracer.span("construct.embedding.measure_landmarks", landmarks=m):
+        measured = np.zeros((m, m), dtype=float)
+        for i in range(m):
+            for j in range(i + 1, m):
+                value = physical.measure(landmarks[i], landmarks[j], probes=probes)
+                measurement_count += probes
+                measured[i, j] = measured[j, i] = value
 
-    landmark_coords = embed_landmarks(measured, dimension, seed=rng)
+    with telemetry.tracer.span("construct.embedding.landmarks", dimension=dimension):
+        landmark_coords = embed_landmarks(measured, dimension, seed=rng)
 
     diff = landmark_coords[:, None, :] - landmark_coords[None, :, :]
     est = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
     fit_error = _relative_error(est, measured)
 
-    coords: Dict[int, Sequence[float]] = {}
     landmark_index = {router: i for i, router in enumerate(landmarks)}
-    for host in hosts:
-        if host in landmark_index:
-            coords[host] = landmark_coords[landmark_index[host]]
-            continue
-        to_landmarks = [
-            physical.measure(host, lm, probes=probes) for lm in landmarks
-        ]
-        measurement_count += probes * m
-        coords[host] = locate_host(landmark_coords, to_landmarks)
+    ordinary = [host for host in hosts if host not in landmark_index]
 
+    located: Dict[int, np.ndarray] = {}
+    if vectorized:
+        with telemetry.tracer.span(
+            "construct.embedding.measure_hosts", hosts=len(ordinary)
+        ):
+            to_landmarks = physical.measure_many(ordinary, landmarks, probes=probes)
+            measurement_count += probes * m * len(ordinary)
+        with telemetry.tracer.span(
+            "construct.embedding.locate", hosts=len(ordinary), workers=workers or 1
+        ):
+            if workers is not None and workers > 1:
+                host_coords = locate_hosts_parallel(
+                    landmark_coords, to_landmarks, workers=workers
+                )
+            else:
+                host_coords = locate_hosts(landmark_coords, to_landmarks)
+        located = dict(zip(ordinary, host_coords))
+    else:
+        with telemetry.tracer.span(
+            "construct.embedding.locate", hosts=len(ordinary), workers=0
+        ):
+            for host in ordinary:
+                to_host = [
+                    physical.measure(host, lm, probes=probes) for lm in landmarks
+                ]
+                measurement_count += probes * m
+                located[host] = locate_host(landmark_coords, to_host)
+
+    # Assemble in *hosts* order so the space's node order (and anything
+    # iterating it) is independent of which hosts double as landmarks.
+    coords: Dict[int, Sequence[float]] = {
+        host: (
+            landmark_coords[landmark_index[host]]
+            if host in landmark_index
+            else located[host]
+        )
+        for host in hosts
+    }
+
+    telemetry.registry.counter("construct.measurements").inc(measurement_count)
     report = EmbeddingReport(
         landmark_ids=landmarks,
         landmark_coordinates=landmark_coords,

@@ -138,3 +138,230 @@ def minimize_with_restarts(
             best = result
     assert best is not None
     return best
+
+
+# -- batched descent ----------------------------------------------------------
+#
+# The GNP per-host step solves thousands of *independent* small minimizations
+# (one k-variable problem per overlay proxy). Running them through the scalar
+# loop above costs one Python-level simplex iteration per host per step; the
+# batched variant below runs every host's iteration as one numpy operation
+# over a (B, n+1, n) stack of simplexes.
+#
+# Each problem follows exactly the scalar control flow — same initial simplex,
+# same stable sort, same reflect/expand/contract/shrink decisions, same
+# per-problem convergence test — so for an objective whose batched evaluation
+# applies the same elementwise arithmetic as its scalar form, the returned
+# points are bit-identical to looping :func:`nelder_mead` per problem (the
+# equivalence test suite asserts this).
+
+BatchObjective = Callable[[np.ndarray, np.ndarray], np.ndarray]
+"""Batched objective: ``(points (M, n), problem_index (M,)) -> values (M,)``.
+
+``problem_index[r]`` names which of the B problems row ``r`` belongs to, so
+per-problem data (e.g. each host's measured landmark delays) can be gathered
+with one fancy index.
+"""
+
+
+@dataclass
+class BatchMinimizeResult:
+    """Outcome of a batched Nelder-Mead run over B independent problems.
+
+    Attributes:
+        x: best points, ``(B, n)``.
+        fun: objective values at ``x``, ``(B,)``.
+        iterations: simplex iterations performed per problem, ``(B,)``.
+        converged: per-problem convergence flags, ``(B,)``.
+    """
+
+    x: np.ndarray
+    fun: np.ndarray
+    iterations: np.ndarray
+    converged: np.ndarray
+
+
+def _as_per_problem(value, count: int) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return np.full(count, float(arr))
+    if arr.shape != (count,):
+        raise ValueError(f"per-problem parameter must be scalar or ({count},), got {arr.shape}")
+    return arr.astype(float, copy=True)
+
+
+def nelder_mead_batch(
+    objective: BatchObjective,
+    x0s: np.ndarray,
+    *,
+    initial_step=1.0,
+    xtol=1e-6,
+    ftol=1e-9,
+    max_iterations: int = 2000,
+) -> BatchMinimizeResult:
+    """Minimize B independent n-variable problems simultaneously.
+
+    Args:
+        objective: batched objective (see :data:`BatchObjective`).
+        x0s: starting points, ``(B, n)``.
+        initial_step: scalar or ``(B,)`` per-problem initial simplex step.
+        xtol: scalar or ``(B,)`` simplex-spread tolerance.
+        ftol: scalar or ``(B,)`` value-spread tolerance.
+        max_iterations: hard iteration cap (shared, as in the scalar loop).
+
+    Problems that converge are frozen in place while the rest keep
+    iterating, so the per-step batch shrinks as hosts finish.
+    """
+    x0s = np.asarray(x0s, dtype=float)
+    if x0s.ndim != 2 or x0s.shape[1] == 0:
+        raise ValueError(f"x0s must be a non-empty (B, n) array, got shape {x0s.shape}")
+    b, n = x0s.shape
+    step0 = _as_per_problem(initial_step, b)
+    xtol_arr = _as_per_problem(xtol, b)
+    ftol_arr = _as_per_problem(ftol, b)
+
+    # Initial simplexes: x0 plus one offset vertex per axis (scalar rule).
+    simplex = np.repeat(x0s[:, None, :], n + 1, axis=1)
+    per_axis = np.where(
+        x0s == 0.0,
+        step0[:, None],
+        step0[:, None] * np.maximum(np.abs(x0s), 1.0) * 0.1,
+    )
+    per_axis = np.where(per_axis == 0.0, step0[:, None], per_axis)
+    axis = np.arange(n)
+    simplex[:, axis + 1, axis] += per_axis
+    values = objective(
+        simplex.reshape(b * (n + 1), n), np.repeat(np.arange(b), n + 1)
+    ).reshape(b, n + 1)
+
+    alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+    active = np.ones(b, dtype=bool)
+    iterations = np.zeros(b, dtype=np.int64)
+    converged = np.zeros(b, dtype=bool)
+    it = 0
+    while it < max_iterations and active.any():
+        act = np.flatnonzero(active)
+        sim_a = simplex[act]
+        val_a = values[act]
+        order = np.argsort(val_a, axis=1, kind="stable")
+        val_a = np.take_along_axis(val_a, order, axis=1)
+        sim_a = np.take_along_axis(sim_a, order[:, :, None], axis=1)
+        simplex[act] = sim_a
+        values[act] = val_a
+
+        x_spread = np.max(np.abs(sim_a[:, 1:] - sim_a[:, :1]), axis=(1, 2))
+        f_spread = np.abs(val_a[:, -1] - val_a[:, 0])
+        done = (x_spread <= xtol_arr[act]) & (f_spread <= ftol_arr[act])
+        if done.any():
+            finished = act[done]
+            converged[finished] = True
+            iterations[finished] = it
+            active[finished] = False
+            keep = ~done
+            act = act[keep]
+            if act.size == 0:
+                break
+            sim_a = sim_a[keep]
+            val_a = val_a[keep]
+
+        centroid = sim_a[:, :-1, :].mean(axis=1)
+        worst = sim_a[:, -1, :]
+        reflected = centroid + alpha * (centroid - worst)
+        f_reflected = objective(reflected, act)
+
+        new_vertex = reflected.copy()
+        new_value = f_reflected.copy()
+        accept = (val_a[:, 0] <= f_reflected) & (f_reflected < val_a[:, -2])
+        expand = f_reflected < val_a[:, 0]
+        contract = ~(accept | expand)
+
+        if expand.any():
+            rows = np.flatnonzero(expand)
+            expanded = centroid[rows] + gamma * (reflected[rows] - centroid[rows])
+            f_expanded = objective(expanded, act[rows])
+            better = f_expanded < f_reflected[rows]
+            win = rows[better]
+            new_vertex[win] = expanded[better]
+            new_value[win] = f_expanded[better]
+
+        shrink = np.empty(0, dtype=np.int64)
+        if contract.any():
+            rows = np.flatnonzero(contract)
+            contracted = centroid[rows] + rho * (worst[rows] - centroid[rows])
+            f_contracted = objective(contracted, act[rows])
+            ok = f_contracted < val_a[rows, -1]
+            win = rows[ok]
+            new_vertex[win] = contracted[ok]
+            new_value[win] = f_contracted[ok]
+            shrink = rows[~ok]
+
+        replace = np.ones(act.size, dtype=bool)
+        replace[shrink] = False
+        sim_a[replace, -1, :] = new_vertex[replace]
+        val_a[replace, -1] = new_value[replace]
+
+        if shrink.size:
+            best = sim_a[shrink, :1, :]
+            shrunk = best + sigma * (sim_a[shrink, 1:, :] - best)
+            sim_a[shrink, 1:, :] = shrunk
+            val_a[shrink, 1:] = objective(
+                shrunk.reshape(-1, n), np.repeat(act[shrink], n)
+            ).reshape(-1, n)
+
+        simplex[act] = sim_a
+        values[act] = val_a
+        it += 1
+
+    iterations[active] = it
+    order = np.argsort(values, axis=1, kind="stable")
+    values = np.take_along_axis(values, order, axis=1)
+    simplex = np.take_along_axis(simplex, order[:, :, None], axis=1)
+    return BatchMinimizeResult(
+        x=simplex[:, 0, :].copy(),
+        fun=values[:, 0].copy(),
+        iterations=iterations,
+        converged=converged,
+    )
+
+
+def minimize_with_restarts_batch(
+    objective: BatchObjective,
+    starts: np.ndarray,
+    *,
+    initial_step=1.0,
+    xtol=1e-6,
+    ftol=1e-9,
+    max_iterations: int = 2000,
+) -> BatchMinimizeResult:
+    """Batched multi-start: ``starts`` is ``(B, S, n)``; keeps each problem's
+    best run (earliest start wins ties, matching the scalar restart loop).
+
+    Per-problem ``initial_step``/``xtol``/``ftol`` apply to every start of
+    that problem.
+    """
+    starts = np.asarray(starts, dtype=float)
+    if starts.ndim != 3 or starts.shape[1] == 0:
+        raise ValueError(f"starts must be (B, S, n), got shape {starts.shape}")
+    b, s, n = starts.shape
+
+    def flat_objective(points: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        return objective(points, idx // s)
+
+    expand = lambda v: np.repeat(_as_per_problem(v, b), s)  # noqa: E731
+    result = nelder_mead_batch(
+        flat_objective,
+        starts.reshape(b * s, n),
+        initial_step=expand(initial_step),
+        xtol=expand(xtol),
+        ftol=expand(ftol),
+        max_iterations=max_iterations,
+    )
+    funs = result.fun.reshape(b, s)
+    best = np.argmin(funs, axis=1)
+    rows = np.arange(b) * s + best
+    return BatchMinimizeResult(
+        x=result.x[rows],
+        fun=result.fun[rows],
+        iterations=result.iterations[rows],
+        converged=result.converged[rows],
+    )

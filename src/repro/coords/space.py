@@ -10,7 +10,7 @@ through this object.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,12 @@ class CoordinateSpace:
         self._coords: Dict[NodeId, Tuple[float, ...]] = {
             node: tuple(float(x) for x in coord) for node, coord in coordinates.items()
         }
+        # Lazily built once (the space is immutable): all coordinates stacked
+        # plus node -> row, so array() is a fancy index instead of a Python
+        # tuple-conversion loop per call. The border-selection and clustering
+        # kernels call array() with thousands of node lists.
+        self._stacked: Optional[np.ndarray] = None
+        self._row: Dict[NodeId, int] = {}
 
     @property
     def dimension(self) -> int:
@@ -63,7 +69,16 @@ class CoordinateSpace:
 
     def array(self, nodes: Sequence[NodeId]) -> np.ndarray:
         """Coordinates of *nodes* stacked into an ``(n, k)`` array."""
-        return np.array([self.coordinate(n) for n in nodes], dtype=float)
+        if self._stacked is None:
+            self._stacked = np.array(list(self._coords.values()), dtype=float)
+            self._row = {node: i for i, node in enumerate(self._coords)}
+        try:
+            rows = [self._row[n] for n in nodes]
+        except KeyError as exc:
+            raise EmbeddingError(f"node {exc.args[0]!r} has no coordinates") from None
+        if not rows:
+            return np.empty((0, self._dim), dtype=float)
+        return self._stacked[rows]
 
     def distance_matrix(self, nodes: Sequence[NodeId]) -> np.ndarray:
         """Pairwise Euclidean distance matrix among *nodes*."""

@@ -34,6 +34,13 @@ class FrameworkConfig:
         transit_stub: physical-topology generator tunables.
         mesh_weight: distance map the mesh baseline uses ("coords" per the
             paper's Section 6.1, "true" for the information ablation).
+        vectorized_construction: run the Section-3 construction pipeline
+            through the batched numpy kernels (embedding, MST, border
+            selection). ``False`` pins the original per-pair/per-host
+            reference path — same clusters and borders, only slower.
+        embedding_workers: optional process-pool size for the per-proxy
+            coordinate solves (proxies embed independently given the
+            landmarks); ``None`` solves in-process.
     """
 
     physical_nodes: Optional[int] = None
@@ -47,6 +54,8 @@ class FrameworkConfig:
     clustering: ClusteringConfig = field(default_factory=ClusteringConfig)
     transit_stub: TransitStubConfig = field(default_factory=TransitStubConfig)
     mesh_weight: str = "coords"
+    vectorized_construction: bool = True
+    embedding_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.landmark_count < self.dimension + 1:
@@ -62,6 +71,8 @@ class FrameworkConfig:
             raise ReproError("invalid services-per-proxy bounds")
         if self.mesh_weight not in ("coords", "true"):
             raise ReproError("mesh_weight must be 'coords' or 'true'")
+        if self.embedding_workers is not None and self.embedding_workers < 1:
+            raise ReproError("embedding_workers must be >= 1 or None")
 
     def physical_size_for(self, proxy_count: int) -> int:
         """Physical topology size for *proxy_count* proxies.

@@ -21,20 +21,20 @@ Typical use::
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.cluster.mstcluster import Clustering, cluster_nodes
 from repro.coords.embedding import EmbeddingReport, build_coordinate_space
 from repro.coords.space import CoordinateSpace
 from repro.core.config import FrameworkConfig
 from repro.graph.graph import Graph
+from repro.graph.mst import euclidean_mst, euclidean_mst_reference
 from repro.netsim.physical import PhysicalNetwork
 from repro.netsim.topology import transit_stub
 from repro.overlay.hfc import HFCTopology, build_hfc
 from repro.overlay.mesh import build_mesh
-from repro.overlay.network import OverlayNetwork, ProxyId
+from repro.overlay.network import OverlayNetwork
 from repro.routing.flat import FlatRouter, coordinate_router, oracle_router
 from repro.routing.hierarchical import HierarchicalRouter
 from repro.routing.meshrouting import MeshRouter, hfc_full_state_router
@@ -75,6 +75,7 @@ class HFCFramework:
         physical: Optional[PhysicalNetwork] = None,
         catalog: Optional[ServiceCatalog] = None,
         seed: RngLike = None,
+        telemetry=None,
     ) -> "HFCFramework":
         """Build the full pipeline for *proxy_count* proxies.
 
@@ -85,53 +86,83 @@ class HFCFramework:
             catalog: service catalog; a scale-invariant generic catalog is
                 generated when None.
             seed: master seed; every stage derives an independent stream.
+            telemetry: optional :class:`~repro.telemetry.Telemetry` scope
+                for the ``construct.*`` phase spans; defaults to the
+                process scope.
         """
+        from repro.telemetry import get_telemetry
+
         if proxy_count < 2:
             raise ReproError("proxy_count must be >= 2")
         config = config or FrameworkConfig()
         rng = ensure_rng(seed)
+        telemetry = telemetry if telemetry is not None else get_telemetry()
+        tracer = telemetry.tracer
+        vectorized = config.vectorized_construction
 
-        if physical is None:
-            topo = transit_stub(
-                config.physical_size_for(proxy_count),
-                config=config.transit_stub,
-                seed=spawn(rng, "topology"),
+        with tracer.span("construct", proxies=proxy_count, vectorized=vectorized):
+            if physical is None:
+                with tracer.span("construct.topology"):
+                    topo = transit_stub(
+                        config.physical_size_for(proxy_count),
+                        config=config.transit_stub,
+                        seed=spawn(rng, "topology"),
+                    )
+                    physical = PhysicalNetwork(
+                        topo,
+                        noise=config.measurement_noise,
+                        seed=spawn(rng, "noise"),
+                    )
+            proxies = physical.pick_overlay_nodes(
+                proxy_count, seed=spawn(rng, "proxies")
             )
-            physical = PhysicalNetwork(
-                topo, noise=config.measurement_noise, seed=spawn(rng, "noise")
-            )
-        proxies = physical.pick_overlay_nodes(proxy_count, seed=spawn(rng, "proxies"))
 
-        space, report = build_coordinate_space(
-            physical,
-            proxies,
-            landmark_count=config.landmark_count,
-            dimension=config.dimension,
-            probes=config.probes,
-            seed=spawn(rng, "embedding"),
-        )
+            with tracer.span("construct.embedding"):
+                space, report = build_coordinate_space(
+                    physical,
+                    proxies,
+                    landmark_count=config.landmark_count,
+                    dimension=config.dimension,
+                    probes=config.probes,
+                    seed=spawn(rng, "embedding"),
+                    vectorized=vectorized,
+                    workers=config.embedding_workers,
+                    telemetry=telemetry,
+                )
 
-        if catalog is None:
-            mean_services = (
-                config.min_services_per_proxy + config.max_services_per_proxy
-            ) / 2.0
-            catalog = scaled_catalog(
-                proxy_count,
-                services_per_proxy_mean=mean_services,
-                instances_per_service=config.instances_per_service,
+            with tracer.span("construct.services"):
+                if catalog is None:
+                    mean_services = (
+                        config.min_services_per_proxy + config.max_services_per_proxy
+                    ) / 2.0
+                    catalog = scaled_catalog(
+                        proxy_count,
+                        services_per_proxy_mean=mean_services,
+                        instances_per_service=config.instances_per_service,
+                    )
+                placement = install_services(
+                    proxies,
+                    catalog,
+                    min_per_proxy=config.min_services_per_proxy,
+                    max_per_proxy=min(config.max_services_per_proxy, len(catalog)),
+                    seed=spawn(rng, "placement"),
+                )
+            overlay = OverlayNetwork(
+                physical=physical, proxies=proxies, placement=placement, space=space
             )
-        placement = install_services(
-            proxies,
-            catalog,
-            min_per_proxy=config.min_services_per_proxy,
-            max_per_proxy=min(config.max_services_per_proxy, len(catalog)),
-            seed=spawn(rng, "placement"),
-        )
-        overlay = OverlayNetwork(
-            physical=physical, proxies=proxies, placement=placement, space=space
-        )
-        clustering = cluster_nodes(space, proxies, config.clustering)
-        hfc = build_hfc(overlay, clustering)
+            with tracer.span("construct.clustering"):
+                clustering = cluster_nodes(
+                    space,
+                    proxies,
+                    config.clustering,
+                    mst=euclidean_mst if vectorized else euclidean_mst_reference,
+                )
+            with tracer.span("construct.borders", clusters=clustering.cluster_count):
+                hfc = build_hfc(
+                    overlay,
+                    clustering,
+                    engine="vectorized" if vectorized else "reference",
+                )
         return cls(
             config=config,
             physical=physical,

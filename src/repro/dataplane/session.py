@@ -17,7 +17,7 @@ failure-injection test suite and the recovery bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netsim.eventsim import Message, Process, Simulator

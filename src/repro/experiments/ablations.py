@@ -26,15 +26,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.cluster.mstcluster import ClusteringConfig, cluster_nodes
+from repro.cluster.mstcluster import cluster_nodes
 from repro.cluster.quality import separation_ratio, size_statistics
 from repro.coords.embedding import embedding_accuracy
 from repro.core.config import FrameworkConfig
-from repro.core.framework import HFCFramework
 from repro.experiments.environments import EnvironmentSpec, build_environment, scaled_table1
 from repro.experiments.report import ascii_table
 from repro.experiments.workload import WorkloadConfig, generate_requests
@@ -300,7 +299,6 @@ def run_landmark_ablation(
     says spread matters. Both variants run on the same physical topology and
     workload; only the landmark set differs.
     """
-    from dataclasses import replace as dc_replace
 
     from repro.experiments.environments import build_environment
 

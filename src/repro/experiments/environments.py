@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from repro.core.config import FrameworkConfig
 from repro.core.framework import HFCFramework

@@ -8,7 +8,7 @@ EXPERIMENTS.md. Exposed on the CLI as ``python -m repro report``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.experiments.ablations import (
     render_aggregation_ablation,

@@ -11,7 +11,7 @@ coordinates-related state (9(a)) and once for service-capability state
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

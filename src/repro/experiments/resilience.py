@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from repro.core.framework import HFCFramework
 from repro.dataplane.recovery import make_rerouter
-from repro.dataplane.session import StreamingSession, path_nominal_latency
+from repro.dataplane.session import StreamingSession
 from repro.experiments.report import ascii_table
 from repro.experiments.stats import Summary, summarize
 from repro.routing.hierarchical import HierarchicalRouter

@@ -10,7 +10,7 @@ The paper evaluates linear SGs; non-linear SGs are supported behind
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.experiments.environments import Environment
 from repro.services.catalog import ServiceCatalog

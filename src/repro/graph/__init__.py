@@ -2,7 +2,14 @@
 
 from repro.graph.components import component_of, connected_components, is_connected
 from repro.graph.graph import Graph
-from repro.graph.mst import UnionFind, euclidean_mst, kruskal_mst, prim_mst
+from repro.graph.mst import (
+    UnionFind,
+    dense_prim_mst,
+    euclidean_mst,
+    euclidean_mst_reference,
+    kruskal_mst,
+    prim_mst,
+)
 from repro.graph.shortest_paths import (
     all_pairs_distances,
     dijkstra,
@@ -20,7 +27,9 @@ __all__ = [
     "connected_components",
     "dijkstra",
     "eccentricity",
+    "dense_prim_mst",
     "euclidean_mst",
+    "euclidean_mst_reference",
     "is_connected",
     "kruskal_mst",
     "prim_mst",

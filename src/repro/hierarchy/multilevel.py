@@ -28,8 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-import numpy as np
-
 from repro.cluster.mstcluster import Clustering, ClusteringConfig, cluster_nodes
 from repro.coords.space import CoordinateSpace
 from repro.overlay.hfc import HFCTopology

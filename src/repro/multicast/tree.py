@@ -26,10 +26,8 @@ the per-destination unicast baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
-
-import numpy as np
 
 from repro.graph.mst import euclidean_mst
 from repro.overlay.network import OverlayNetwork, ProxyId

@@ -15,7 +15,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.telemetry import Counter, Histogram, Telemetry, get_telemetry

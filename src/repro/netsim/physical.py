@@ -106,13 +106,57 @@ class PhysicalNetwork:
         """
         if probes < 1:
             raise ValueError(f"probes must be >= 1, got {probes}")
-        true = self.delay(u, v)
+        return self._noisy(self.delay(u, v), probes)
+
+    def _noisy(self, true: float, probes: int) -> float:
+        """Min-of-*probes* noisy observation of the delay *true*.
+
+        Shared by :meth:`measure` and :meth:`measure_many` so both draw the
+        exact same noise stream for the same pair sequence.
+        """
         if self.noise == 0.0 or true == 0.0:
             return true
-        best = min(
+        return min(
             true * (1.0 + self._rng.uniform(0.0, self.noise)) for _ in range(probes)
         )
-        return best
+
+    def measure_many(
+        self, sources: Sequence[int], targets: Sequence[int], probes: int = 1
+    ) -> np.ndarray:
+        """Noisy measurements for every (source, target) pair, as an array.
+
+        Semantically equivalent to the nested loop ``[[measure(s, t, probes)
+        for t in targets] for s in sources]`` — it consumes the identical
+        noise stream in the identical (source-major) order — but obtains the
+        true delays from the *target* side: ``len(targets)`` single-source
+        Dijkstra runs instead of ``len(sources)``. With a handful of landmark
+        targets and thousands of proxy sources that removes the dominant
+        construction cost (the per-proxy shortest-path sweeps).
+
+        Delays are symmetric on the undirected physical graph, so the values
+        differ from the source-side ones by at most float summation order
+        (reversed-path addition; ulp-level).
+        """
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1, got {probes}")
+        sources = list(sources)
+        targets = list(targets)
+        true = np.zeros((len(sources), len(targets)), dtype=float)
+        for j, t in enumerate(targets):
+            dist = self.delays_from(t)
+            for i, s in enumerate(sources):
+                if s == t:
+                    continue
+                if s not in dist:
+                    raise TopologyError(f"router {t!r} unreachable from {s!r}")
+                true[i, j] = dist[s]
+        if self.noise == 0.0:
+            return true
+        out = np.empty_like(true)
+        for i in range(len(sources)):
+            for j in range(len(targets)):
+                out[i, j] = self._noisy(true[i, j], probes)
+        return out
 
     # -- misc ---------------------------------------------------------------
 

@@ -1,6 +1,11 @@
 """Overlay layer: proxy network, mesh baseline, HFC topology."""
 
-from repro.overlay.hfc import HFCTopology, build_hfc
+from repro.overlay.hfc import (
+    HFCTopology,
+    build_hfc,
+    select_borders_closest,
+    select_borders_closest_reference,
+)
 from repro.overlay.mesh import build_gabriel_mesh, build_mesh, mesh_statistics
 from repro.overlay.network import OverlayNetwork, ProxyId
 
@@ -12,4 +17,6 @@ __all__ = [
     "build_hfc",
     "build_mesh",
     "mesh_statistics",
+    "select_borders_closest",
+    "select_borders_closest_reference",
 ]

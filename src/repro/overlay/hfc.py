@@ -22,7 +22,7 @@ ground truth therefore exercises the same imprecision the real system would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -303,6 +303,54 @@ class HFCTopology:
         return route, true
 
 
+def select_borders_closest(
+    space: CoordinateSpace, clustering: Clustering
+) -> Dict[Tuple[int, int], ProxyId]:
+    """Closest-pair border selection for every cluster pair, vectorized.
+
+    Fetches each cluster's coordinate block once and reduces every cluster
+    pair with one blocked distance-matrix minimum (cdist-style), instead of
+    re-materialising both clusters' coordinates for each of the k(k-1)/2
+    pairs the way per-pair :meth:`CoordinateSpace.closest_pair` calls do.
+    Arithmetic and argmin tie-breaking (earliest member indices win) are
+    identical to the per-pair path, so the selected borders match it
+    exactly — the equivalence suite asserts this.
+    """
+    k = clustering.cluster_count
+    members = [clustering.members(i) for i in range(k)]
+    blocks = [space.array(m) for m in members]
+    borders: Dict[Tuple[int, int], ProxyId] = {}
+    for i in range(k):
+        for j in range(i + 1, k):
+            diff = blocks[i][:, None, :] - blocks[j][None, :, :]
+            dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+            flat = int(np.argmin(dist))
+            a, b = divmod(flat, dist.shape[1])
+            borders[(i, j)] = members[i][a]
+            borders[(j, i)] = members[j][b]
+    return borders
+
+
+def select_borders_closest_reference(
+    space: CoordinateSpace, clustering: Clustering
+) -> Dict[Tuple[int, int], ProxyId]:
+    """The pre-vectorization border scan: one :meth:`closest_pair` per pair.
+
+    Kept as the reference path for the equivalence tests and the
+    construction benchmark.
+    """
+    borders: Dict[Tuple[int, int], ProxyId] = {}
+    k = clustering.cluster_count
+    for i in range(k):
+        for j in range(i + 1, k):
+            a, b, _ = space.closest_pair(
+                clustering.members(i), clustering.members(j)
+            )
+            borders[(i, j)] = a
+            borders[(j, i)] = b
+    return borders
+
+
 def build_hfc(
     overlay: OverlayNetwork,
     clustering: Clustering,
@@ -310,6 +358,7 @@ def build_hfc(
     *,
     border_rule: str = "closest",
     seed=None,
+    engine: str = "vectorized",
 ) -> HFCTopology:
     """Construct the HFC topology from a clustering (paper Section 3.3).
 
@@ -317,7 +366,10 @@ def build_hfc(
     becomes the border pair (``border_rule="closest"``, the paper's rule).
     ``border_rule="random"`` picks a uniform random cross-pair instead — the
     ablation quantifying how much the selection rule buys. *space* defaults
-    to the overlay's attached coordinate space.
+    to the overlay's attached coordinate space. *engine* selects the
+    closest-pair kernel: ``"vectorized"`` (blocked matrix minima, the
+    default) or ``"reference"`` (the original per-pair scan); both return
+    identical borders.
     """
     from repro.util.rng import ensure_rng
 
@@ -328,24 +380,27 @@ def build_hfc(
         raise TopologyError(
             f"border_rule must be 'closest' or 'random', got {border_rule!r}"
         )
+    if engine not in ("vectorized", "reference"):
+        raise TopologyError(
+            f"engine must be 'vectorized' or 'reference', got {engine!r}"
+        )
     for proxy in overlay.proxies:
         if proxy not in clustering.labels:
             raise TopologyError(f"proxy {proxy!r} missing from clustering")
 
-    rng = ensure_rng(seed)
-    borders: Dict[Tuple[int, int], ProxyId] = {}
-    k = clustering.cluster_count
-    for i in range(k):
-        for j in range(i + 1, k):
-            if border_rule == "closest":
-                a, b, _ = space.closest_pair(
-                    clustering.members(i), clustering.members(j)
-                )
-            else:
-                a = rng.choice(clustering.members(i))
-                b = rng.choice(clustering.members(j))
-            borders[(i, j)] = a
-            borders[(j, i)] = b
+    if border_rule == "closest":
+        if engine == "vectorized":
+            borders = select_borders_closest(space, clustering)
+        else:
+            borders = select_borders_closest_reference(space, clustering)
+    else:
+        rng = ensure_rng(seed)
+        borders = {}
+        k = clustering.cluster_count
+        for i in range(k):
+            for j in range(i + 1, k):
+                borders[(i, j)] = rng.choice(clustering.members(i))
+                borders[(j, i)] = rng.choice(clustering.members(j))
     return HFCTopology(
         overlay=overlay, clustering=clustering, space=space, borders=borders
     )

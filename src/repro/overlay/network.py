@@ -9,7 +9,7 @@ coordinate space is attached after the landmark embedding runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional
 
 import numpy as np
 

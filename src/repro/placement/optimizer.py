@@ -21,7 +21,7 @@ buys the routing layer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Hashable
 
 from repro.routing.hierarchical import ClusterServicePath, HierarchicalRouter
 from repro.services.graph import ServiceGraph

@@ -30,7 +30,7 @@ Three variants of step 2 are provided (`method=`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.overlay.hfc import HFCTopology
@@ -39,7 +39,7 @@ from repro.routing.flat import FlatRouter, _merge_consecutive
 from repro.routing.path import Hop, ServicePath
 from repro.routing.providers import CoordinateProvider
 from repro.services.catalog import ServiceName
-from repro.services.graph import ServiceGraph, SlotId, linear_graph
+from repro.services.graph import ServiceGraph, SlotId
 from repro.services.placement import aggregate_capability
 from repro.services.request import ServiceRequest
 from repro.telemetry import Telemetry, get_telemetry

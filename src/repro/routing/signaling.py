@@ -16,7 +16,7 @@ savings; the companion bench compares it across overlay sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.netsim.eventsim import Message, Process, Simulator

@@ -13,7 +13,7 @@ customization and web-document processing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, Sequence
 
 from repro.util.errors import ServiceModelError
 

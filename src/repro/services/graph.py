@@ -14,7 +14,7 @@ mapped path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.services.catalog import ServiceName
 from repro.util.errors import ServiceModelError

@@ -25,13 +25,13 @@ forward is repaired one period later — which the loss-rate tests rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.netsim.eventsim import Message, Process, Simulator
 from repro.overlay.hfc import HFCTopology
 from repro.overlay.network import ProxyId
 from repro.services.catalog import ServiceName
-from repro.state.tables import ProxyState, ServiceCapabilityTable
+from repro.state.tables import ProxyState
 from repro.util.errors import StateError
 from repro.util.rng import RngLike, ensure_rng
 

@@ -14,7 +14,7 @@ staleness and convergence of the distribution protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Optional
+from typing import Dict, FrozenSet, Hashable
 
 from repro.services.catalog import ServiceName
 from repro.util.errors import StateError

@@ -28,9 +28,9 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
 
-from repro.telemetry.events import EventLog, Sink
-from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.telemetry.tracing import ClockInfo, Span, Tracer
+from repro.telemetry.events import EventLog
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import ClockInfo, Tracer
 
 
 class Telemetry:

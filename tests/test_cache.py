@@ -51,7 +51,6 @@ class TestCachedRouting:
         assert cached.stats.hits == 2
 
     def test_same_sg_different_source_in_same_cluster_hits(self, framework, cached):
-        hfc = framework.hfc
         members = next(c for c in framework.clustering.clusters if len(c) >= 2)
         service = next(iter(framework.overlay.placement[framework.overlay.proxies[0]]))
         destination = next(

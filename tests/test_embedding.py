@@ -1,6 +1,5 @@
 """Tests for the landmark coordinate embedding (Section 3.1)."""
 
-import math
 
 import numpy as np
 import pytest
@@ -15,7 +14,6 @@ from repro.coords import (
     embedding_accuracy,
     locate_host,
 )
-from repro.netsim import PhysicalNetwork, transit_stub
 from repro.util.errors import EmbeddingError
 
 

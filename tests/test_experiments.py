@@ -1,6 +1,5 @@
 """Tests for the experiment harnesses (Table 1, Fig 9, Fig 10, workload)."""
 
-import os
 
 import pytest
 

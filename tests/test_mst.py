@@ -1,7 +1,6 @@
 """Tests for union-find and the three MST implementations."""
 
 import math
-import random
 
 import networkx as nx
 import numpy as np

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.hierarchy import MultiLevelHFC, ThreeLevelRouter, build_multilevel
+from repro.hierarchy import ThreeLevelRouter, build_multilevel
 from repro.routing import HierarchicalRouter, validate_path
-from repro.state import coordinates_node_states, service_node_states
+from repro.state import coordinates_node_states
 from repro.util.errors import TopologyError
 
 

@@ -252,7 +252,6 @@ class TestGabrielMesh:
 
     def test_gabriel_condition_holds(self, overlay):
         """No third proxy lies inside any edge's diameter circle."""
-        import math
 
         from repro.overlay import build_gabriel_mesh
 

@@ -23,7 +23,6 @@ paper's exact numbers, so these tests pin the router to the publication, not
 to our topology generator.
 """
 
-import math
 
 import pytest
 

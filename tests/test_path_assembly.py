@@ -60,7 +60,6 @@ class TestMergeConsecutive:
 
     def test_service_count_always_preserved(self):
         """No merge may ever drop a service application."""
-        import itertools
         import random
 
         rng = random.Random(3)

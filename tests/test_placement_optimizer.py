@@ -115,7 +115,6 @@ class TestOptimizePlacement:
         the demand-oblivious original at the same replica budget."""
         import random
 
-        from repro.cluster import cluster_nodes
         from repro.overlay import OverlayNetwork, build_hfc
         from repro.routing import HierarchicalRouter
         from repro.services import ServiceRequest, linear_graph

@@ -14,7 +14,6 @@ that must hold for *any* input:
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for Dijkstra & friends, cross-validated against networkx."""
 
-import random
 
 import networkx as nx
 import pytest

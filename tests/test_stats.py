@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.experiments.stats import (
-    Summary,
     relative_difference,
     summarize,
     t_critical_95,

@@ -49,7 +49,7 @@ class TestSpawn:
     def test_child_isolated_from_parent_consumption(self):
         """Drawing from one child must not perturb a sibling's stream."""
         p1 = ensure_rng(7)
-        c1 = spawn(p1, "a")
+        spawn(p1, "a")  # first child claimed, as in the p2 replay below
         c2 = spawn(p1, "b")
         c2_values = [c2.random() for _ in range(3)]
 
