@@ -35,12 +35,15 @@ lint:
 		mypy src/repro; \
 	else echo "mypy not installed; skipping (CI runs it)"; fi
 
-# The CI bench-smoke job: regenerate the small-scale construction bench and
-# gate the speedup ratio against the committed baseline.
+# The CI bench-smoke job: regenerate the small-scale construction and churn
+# benches and gate their speedup ratios against the committed baselines.
 bench-smoke:
 	cp BENCH_construction.json /tmp/bench_baseline.json
+	cp BENCH_churn.json /tmp/churn_baseline.json
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_construction.py --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_churn.py::test_incremental_churn_speedup --benchmark-only -q
 	$(PYTHON) scripts/check_bench_regression.py /tmp/bench_baseline.json BENCH_construction.json --tolerance 0.25
+	$(PYTHON) scripts/check_bench_regression.py /tmp/churn_baseline.json BENCH_churn.json --tolerance 0.25 --metric maintenance --metric state_bytes
 
 # Mirror the full CI workflow locally: tier-1 tests, lint, bench smoke + gate.
 ci:

@@ -1,15 +1,18 @@
 #!/usr/bin/env python
-"""Benchmark-regression gate for the construction pipeline.
+"""Benchmark-regression gate for the BENCH_*.json speedup snapshots.
 
-Compares a freshly generated ``BENCH_construction.json`` against the
-baseline committed to the repository and fails (exit 1) when the
-end-to-end construction speedup regresses by more than ``--tolerance``
-(default 25%).
+Compares a freshly generated ``BENCH_*.json`` (construction, churn, ...)
+against the baseline committed to the repository and fails (exit 1) when
+any gated speedup ratio regresses by more than ``--tolerance`` (default
+25%).
 
-The gate compares the dimensionless speedup ratio
-(``reference_seconds.total / vectorized_seconds.total``), not absolute
-wall-clock: both code paths run on the same machine in the same job, so
-the ratio is stable across runner hardware while raw seconds are not.
+The gate compares dimensionless speedup ratios (e.g. reference seconds /
+vectorized seconds, full-rebuild seconds / incremental seconds, full-mode
+bytes / delta-mode bytes), not absolute wall-clock: both code paths run
+on the same machine in the same job, so the ratio is stable across
+runner hardware while raw seconds are not. ``--metric`` selects which
+keys of each entry's ``speedup`` dict are gated (repeatable; default
+``total``).
 
 Usage (the CI bench job)::
 
@@ -17,10 +20,13 @@ Usage (the CI bench job)::
     pytest benchmarks/bench_construction.py --benchmark-only  # regenerates
     python scripts/check_bench_regression.py \\
         /tmp/bench_baseline.json BENCH_construction.json
+    python scripts/check_bench_regression.py \\
+        /tmp/churn_baseline.json BENCH_churn.json \\
+        --metric maintenance --metric state_bytes
 
 Entries are keyed by scale (``small``/``full``); only keys present in
 BOTH files with the same workload size are gated, so the small CI smoke
-run is never compared against the full n=2000 baseline.
+run is never compared against the full-scale baseline.
 """
 
 from __future__ import annotations
@@ -52,7 +58,15 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed fractional speedup regression (default 0.25)",
     )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        dest="metrics",
+        metavar="NAME",
+        help="speedup key to gate (repeatable; default: total)",
+    )
     args = parser.parse_args(argv)
+    metrics = args.metrics or ["total"]
 
     baseline = load_entries(args.baseline)
     current = load_entries(args.current)
@@ -74,20 +88,27 @@ def main(argv: list[str] | None = None) -> int:
                 f"(n={base.get('proxies')} -> n={cur.get('proxies')}); skipping"
             )
             continue
-        base_speedup = float(base["speedup"]["total"])
-        cur_speedup = float(cur["speedup"]["total"])
-        floor = base_speedup * (1.0 - args.tolerance)
-        verdict = "ok" if cur_speedup >= floor else "REGRESSION"
-        print(
-            f"[{scale}] n={cur['proxies']}: speedup {cur_speedup:.2f}x vs "
-            f"baseline {base_speedup:.2f}x (floor {floor:.2f}x) — {verdict}"
-        )
-        if cur_speedup < floor:
-            failures.append(scale)
+        for metric in metrics:
+            try:
+                base_speedup = float(base["speedup"][metric])
+                cur_speedup = float(cur["speedup"][metric])
+            except KeyError:
+                sys.exit(
+                    f"error: entry [{scale}] has no speedup metric {metric!r}"
+                )
+            floor = base_speedup * (1.0 - args.tolerance)
+            verdict = "ok" if cur_speedup >= floor else "REGRESSION"
+            print(
+                f"[{scale}] n={cur['proxies']} {metric}: "
+                f"speedup {cur_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+                f"(floor {floor:.2f}x) — {verdict}"
+            )
+            if cur_speedup < floor:
+                failures.append(f"{scale}/{metric}")
 
     if failures:
         print(
-            f"\nFAIL: construction speedup regressed beyond "
+            f"\nFAIL: speedup regressed beyond "
             f"{args.tolerance:.0%} on: {', '.join(failures)}"
         )
         return 1

@@ -1,6 +1,19 @@
-"""Public API: the HFC framework facade and its configuration."""
+"""Public API: the HFC framework facade, configuration, and versioning."""
 
 from repro.core.config import FrameworkConfig
 from repro.core.framework import HFCFramework
+from repro.core.versioning import (
+    CapabilityFeed,
+    ChangeNotifier,
+    MutableCapabilityFeed,
+    OverlayVersion,
+)
 
-__all__ = ["FrameworkConfig", "HFCFramework"]
+__all__ = [
+    "CapabilityFeed",
+    "ChangeNotifier",
+    "FrameworkConfig",
+    "HFCFramework",
+    "MutableCapabilityFeed",
+    "OverlayVersion",
+]

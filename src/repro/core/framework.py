@@ -28,6 +28,7 @@ from repro.cluster.mstcluster import Clustering, cluster_nodes
 from repro.coords.embedding import EmbeddingReport, build_coordinate_space
 from repro.coords.space import CoordinateSpace
 from repro.core.config import FrameworkConfig
+from repro.core.versioning import MutableCapabilityFeed
 from repro.graph.graph import Graph
 from repro.graph.mst import euclidean_mst, euclidean_mst_reference
 from repro.netsim.physical import PhysicalNetwork
@@ -40,7 +41,7 @@ from repro.routing.hierarchical import HierarchicalRouter
 from repro.routing.meshrouting import MeshRouter, hfc_full_state_router
 from repro.services.catalog import ServiceCatalog, scaled_catalog
 from repro.services.graph import linear_graph
-from repro.services.placement import install_services
+from repro.services.placement import aggregate_capability, install_services
 from repro.services.request import ServiceRequest
 from repro.state.overhead import (
     mean_coordinates_overhead,
@@ -181,13 +182,21 @@ class HFCFramework:
         return HierarchicalRouter(self.hfc, method=method)
 
     def cached_hierarchical_router(
-        self, method: str = "backtrack", cache_size: int = 1024
+        self, method: str = "backtrack", cache_size: int = 1024, capability_feed=None
     ):
-        """The hierarchical router with CSP memoisation (production shape)."""
+        """The hierarchical router with CSP memoisation (production shape).
+
+        Pass ``capability_feed`` (e.g. :meth:`capability_feed` or a
+        protocol's feed) to make cache invalidation version-driven: the
+        router drops its CSPs exactly when the feed's version moves.
+        """
         from repro.routing.cache import CachedHierarchicalRouter
 
         return CachedHierarchicalRouter(
-            self.hfc, method=method, cache_size=cache_size
+            self.hfc,
+            method=method,
+            cache_size=cache_size,
+            capability_feed=capability_feed,
         )
 
     def mesh_router(self, *, seed: RngLike = None, mesh: Optional[Graph] = None) -> MeshRouter:
@@ -228,11 +237,42 @@ class HFCFramework:
 
     # -- state & overheads ---------------------------------------------------------
 
+    def capability_feed(self) -> MutableCapabilityFeed:
+        """A versioned cluster-capability view seeded with exact aggregation.
+
+        The feed starts from ground truth (the Section-4 aggregation rule
+        applied to the current placement) and is thereafter advanced by
+        whoever owns it — :meth:`MutableCapabilityFeed.publish` on
+        membership or placement changes. Bind it to a
+        :meth:`cached_hierarchical_router` for version-driven cache
+        invalidation.
+        """
+        return MutableCapabilityFeed(
+            {
+                cid: aggregate_capability(
+                    self.overlay.placement, self.hfc.members(cid)
+                )
+                for cid in range(self.hfc.cluster_count)
+            }
+        )
+
     def run_state_protocol(
-        self, max_time: float = 20000.0, seed: RngLike = None
+        self,
+        max_time: float = 20000.0,
+        seed: RngLike = None,
+        *,
+        mode: str = "delta",
+        refresh_every: int = 4,
     ) -> ProtocolReport:
-        """Simulate the Section-4 protocol to convergence; returns its report."""
-        protocol = StateDistributionProtocol(self.hfc, seed=seed)
+        """Simulate the Section-4 protocol to convergence; returns its report.
+
+        ``mode="delta"`` (default) uses sequence-numbered delta
+        announcements with a full refresh every ``refresh_every`` periods;
+        ``mode="full"`` reproduces the legacy always-full behaviour.
+        """
+        protocol = StateDistributionProtocol(
+            self.hfc, seed=seed, mode=mode, refresh_every=refresh_every
+        )
         return protocol.run(max_time=max_time)
 
     def coordinates_overhead(self) -> Dict[str, float]:

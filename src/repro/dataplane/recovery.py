@@ -25,15 +25,20 @@ def make_rerouter(framework: HFCFramework, request: ServiceRequest):
 
     Returns a callable that, given the failed proxy set, removes those
     proxies from a dynamic view of the overlay and re-routes the request
-    hierarchically on the rebuilt topology.
+    hierarchically on the patched topology. One :class:`DynamicOverlay`
+    persists across calls, so each invocation only pays for the *newly*
+    failed proxies — an incremental leave per failure instead of a fresh
+    overlay copy per reroute.
     """
+    dyn = DynamicOverlay(
+        framework, restructure_tolerance=None, track_quality=False
+    )
 
     def reroute(failed: FrozenSet[ProxyId]) -> ServicePath:
         if request.source_proxy in failed or request.destination_proxy in failed:
             raise RoutingError("a request endpoint failed; session cannot recover")
-        dyn = DynamicOverlay(framework, restructure_tolerance=None)
-        for proxy in failed:
-            if proxy in dyn.clustering.labels:
+        for proxy in sorted(failed):
+            if dyn.is_member(proxy):
                 dyn.leave(proxy)
         router = HierarchicalRouter(dyn.hfc)
         return router.route(request)

@@ -14,18 +14,23 @@ Stale-state routing can fail two ways, both measured: a request can become
 has — the intra-cluster conquer step then fails cleanly), or it can be
 *silently suboptimal* (a better, newly installed provider is not yet
 advertised).
+
+Both passes use ONE :class:`~repro.routing.cache.CachedHierarchicalRouter`
+bound to the protocol's capability feed — the router notices the table
+revision moved between the passes and drops its CSP cache by itself, which
+is exactly the versioned-consumption contract production routers follow.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 
 from repro.core.framework import HFCFramework
 from repro.experiments.report import ascii_table
-from repro.routing.hierarchical import HierarchicalRouter
+from repro.routing.cache import CachedHierarchicalRouter
 from repro.services.request import ServiceRequest
 from repro.state.protocol import StateDistributionProtocol
 from repro.util.errors import NoFeasiblePathError
@@ -84,18 +89,18 @@ def run_staleness_experiment(
             receiver, placement[receiver] | {service}
         )
 
-    rows: List[StalenessRow] = []
-    stale_capabilities = protocol.capabilities_for_routing()
-    rows.append(
-        _route_all("stale tables", framework, requests, stale_capabilities)
+    # One version-aware router for both passes: it reads SCT_C through the
+    # protocol's feed and self-invalidates when the table revision moves.
+    router = CachedHierarchicalRouter(
+        framework.hfc, capability_feed=protocol.capability_feed()
     )
+
+    rows: List[StalenessRow] = []
+    rows.append(_route_all("stale tables", framework, requests, router))
 
     second = protocol.run(max_time=protocol.sim.now + 60000.0)
     assert second.converged_at is not None, "protocol did not re-converge"
-    fresh_capabilities = protocol.capabilities_for_routing()
-    rows.append(
-        _route_all("re-converged", framework, requests, fresh_capabilities)
-    )
+    rows.append(_route_all("re-converged", framework, requests, router))
     return rows
 
 
@@ -103,11 +108,8 @@ def _route_all(
     label: str,
     framework: HFCFramework,
     requests: List[ServiceRequest],
-    capabilities: Dict[int, frozenset],
+    router: CachedHierarchicalRouter,
 ) -> StalenessRow:
-    router = HierarchicalRouter(
-        framework.hfc, cluster_capabilities=capabilities
-    )
     delays: List[float] = []
     infeasible = 0
     for request in requests:

@@ -4,7 +4,7 @@
 multiple joins and leaves may deteriorate the quality of clustering. Hence
 some kind of re-structuring mechanism needs to be devised."
 
-This module implements exactly that design:
+This module implements exactly that design, *incrementally*:
 
 * **join**: a new proxy measures its delays to the landmarks, derives its
   coordinates (the Section 3.1 machinery), and joins the cluster of its
@@ -15,23 +15,50 @@ This module implements exactly that design:
 * **restructuring**: when quality degrades beyond a configurable tolerance,
   the overlay re-clusters from scratch (the elected proxy P re-runs
   Section 3.2/3.3).
+
+A join or leave touches exactly one cluster, so the default
+``incremental=True`` mode patches the overlay in place: the affected
+cluster's member list and coordinate block are rebuilt (O(cluster)), and
+border selection re-runs only for the k-1 cluster pairs involving that
+cluster (:func:`repro.overlay.hfc.patch_borders_for_cluster`), using the
+same blocked closest-pair kernel as the full scan. Full reconstruction is
+reserved for :meth:`DynamicOverlay.restructure` (and for
+``incremental=False``, the legacy rebuild-the-world mode kept as the
+benchmark baseline). The derived ``space`` / ``clustering`` / ``overlay``
+/ ``hfc`` objects are materialised lazily on first access after a change,
+so a burst of churn events does not pay O(n) per event for views nobody
+reads. ``tests/test_incremental_equivalence.py`` proves both modes
+produce identical topologies after every event.
+
+Every event advances :attr:`DynamicOverlay.version` (an
+:class:`~repro.core.versioning.OverlayVersion`: restructures bump the
+epoch, joins/leaves the step) and fires :attr:`DynamicOverlay.notifier`,
+which is how the state and routing layers learn that their capability
+views are out of date.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.cluster.mstcluster import Clustering, ClusteringConfig, cluster_nodes
 from repro.cluster.quality import separation_ratio
 from repro.coords.embedding import locate_host
 from repro.coords.space import CoordinateSpace
 from repro.core.framework import HFCFramework
-from repro.overlay.hfc import HFCTopology, build_hfc
+from repro.core.versioning import ChangeNotifier, OverlayVersion
+from repro.overlay.hfc import (
+    HFCTopology,
+    closest_cross_pair,
+    drop_cluster_from_borders,
+    patch_borders_for_cluster,
+)
 from repro.overlay.network import OverlayNetwork, ProxyId
 from repro.services.catalog import ServiceName
 from repro.telemetry import Telemetry, get_telemetry
-from repro.util.errors import MembershipError
+from repro.util.errors import ClusteringError, MembershipError
 from repro.util.rng import RngLike, ensure_rng
 
 import numpy as np
@@ -44,17 +71,19 @@ class ChurnEvent:
     kind: str  # "join" | "leave" | "restructure"
     proxy: Optional[ProxyId]
     cluster: Optional[int]
-    quality_after: float
+    #: quality after the event; None when quality tracking is disabled
+    quality_after: Optional[float]
 
 
 @dataclass
 class DynamicOverlay:
     """A mutable view over an HFC overlay that supports joins and leaves.
 
-    Wraps a built :class:`HFCFramework`; every mutation produces a fresh
-    consistent (overlay, clustering, HFC) triple, reachable through
-    :attr:`overlay`, :attr:`clustering` and :attr:`hfc`. The wrapped
-    framework itself is never mutated.
+    Wraps a built :class:`HFCFramework`; every mutation leaves a
+    consistent (overlay, clustering, HFC) triple reachable through
+    :attr:`overlay`, :attr:`clustering` and :attr:`hfc` — materialised
+    lazily from the patched internal state. The wrapped framework itself
+    is never mutated.
     """
 
     framework: HFCFramework
@@ -64,20 +93,28 @@ class DynamicOverlay:
     history: List[ChurnEvent] = field(default_factory=list)
     #: observability scope (default: the process-wide one)
     telemetry: Optional[Telemetry] = None
+    #: patch the topology per event (default) instead of rebuilding it
+    incremental: bool = True
+    #: compute the separation ratio after every event (O(n²/k)); disable
+    #: for throughput-sensitive churn driving
+    track_quality: bool = True
 
     def __post_init__(self) -> None:
         if self.telemetry is None:
             self.telemetry = get_telemetry()
         fw = self.framework
-        self._coords: Dict[ProxyId, tuple] = {
+        self._coords: Dict[ProxyId, Tuple[float, ...]] = {
             p: fw.space.coordinate(p) for p in fw.overlay.proxies
         }
         self._placement: Dict[ProxyId, FrozenSet[ServiceName]] = dict(
             fw.overlay.placement
         )
-        self._labels: Dict[ProxyId, int] = dict(fw.clustering.labels)
         self._cluster_config: ClusteringConfig = fw.config.clustering
-        self._rebuild()
+        self.version = OverlayVersion()
+        self.notifier = ChangeNotifier()
+        self._adopt_labels(dict(fw.clustering.labels))
+        self._refresh_borders()
+        self._invalidate_views()
 
     # -- views ---------------------------------------------------------------
 
@@ -91,7 +128,69 @@ class DynamicOverlay:
         """Current overlay size."""
         return len(self._labels)
 
+    def __contains__(self, proxy: ProxyId) -> bool:
+        return proxy in self._labels
+
+    def is_member(self, proxy: ProxyId) -> bool:
+        """Whether *proxy* is currently part of the overlay (O(1))."""
+        return proxy in self._labels
+
+    @property
+    def space(self) -> CoordinateSpace:
+        """The current coordinate space (materialised lazily)."""
+        if self._space_view is None:
+            self._space_view = CoordinateSpace.from_trusted(dict(self._coords))
+        return self._space_view
+
+    @property
+    def clustering(self) -> Clustering:
+        """The current clustering (materialised lazily)."""
+        if self._clustering_view is None:
+            self._clustering_view = Clustering(
+                clusters=[list(c) for c in self._clusters],
+                labels=dict(self._labels),
+            )
+        return self._clustering_view
+
+    @property
+    def overlay(self) -> OverlayNetwork:
+        """The current overlay network (materialised lazily)."""
+        if self._overlay_view is None:
+            proxies = list(self._labels)
+            self._overlay_view = OverlayNetwork(
+                physical=self.framework.physical,
+                proxies=proxies,
+                placement={p: self._placement[p] for p in proxies},
+                space=self.space,
+            )
+        return self._overlay_view
+
+    @property
+    def hfc(self) -> HFCTopology:
+        """The current HFC topology (materialised lazily)."""
+        if self._hfc_view is None:
+            self._hfc_view = HFCTopology(
+                overlay=self.overlay,
+                clustering=self.clustering,
+                space=self.space,
+                borders=dict(self._borders),
+            )
+        return self._hfc_view
+
     # -- mutations --------------------------------------------------------------
+
+    def locate(self, router: int, *, probes: int = 3) -> Tuple[float, ...]:
+        """Coordinates for physical *router* from landmark measurements.
+
+        Uses the landmark-side batched measurement path, so a join costs
+        one cached Dijkstra per landmark instead of one from the joining
+        router.
+        """
+        fw = self.framework
+        landmarks = fw.embedding_report.landmark_ids
+        landmark_coords = np.asarray(fw.embedding_report.landmark_coordinates)
+        measured = fw.physical.measure_many([router], landmarks, probes=probes)[0]
+        return tuple(float(x) for x in locate_host(landmark_coords, measured))
 
     def join(
         self,
@@ -99,60 +198,101 @@ class DynamicOverlay:
         services: FrozenSet[ServiceName],
         *,
         probes: int = 3,
+        coords: Optional[Sequence[float]] = None,
     ) -> ProxyId:
         """A proxy on physical *router* joins the overlay.
 
-        It derives coordinates from landmark measurements and joins the
-        cluster of its nearest existing proxy (the paper's suggested rule).
+        It derives coordinates from landmark measurements (or takes
+        pre-measured *coords*, e.g. replayed by the equivalence suite) and
+        joins the cluster of its geometrically nearest existing proxy (the
+        paper's suggested rule). Only that cluster's membership and border
+        pairs are recomputed in incremental mode.
         """
         if router in self._labels:
             raise MembershipError(f"proxy {router!r} is already a member")
-        fw = self.framework
-        landmarks = fw.embedding_report.landmark_ids
-        landmark_coords = np.asarray(fw.embedding_report.landmark_coordinates)
-        measured = [fw.physical.measure(router, lm, probes=probes) for lm in landmarks]
-        coords = tuple(float(x) for x in locate_host(landmark_coords, measured))
-        self._coords[router] = coords
+        point = (
+            self.locate(router, probes=probes)
+            if coords is None
+            else tuple(float(x) for x in coords)
+        )
+        cluster_id = self._labels[self._nearest_member(point)]
+        self._coords[router] = point
         self._placement[router] = frozenset(services)
-
-        temp_space = CoordinateSpace(self._coords)
-        nearest = temp_space.nearest(router, [p for p in self._labels])
-        self._labels[router] = self._labels[nearest]
-        self._rebuild()
-        self._record("join", router)
+        self._labels[router] = cluster_id
+        if self.incremental:
+            members = list(self._clusters[cluster_id])
+            insort(members, router)
+            self._clusters[cluster_id] = members
+            self._blocks[cluster_id] = self._block(members)
+            patch_borders_for_cluster(
+                self._borders, cluster_id, self._clusters, self._blocks
+            )
+        else:
+            self._full_rebuild()
+        self._finish_event("join", router)
         self._maybe_restructure()
         return router
 
     def leave(self, proxy: ProxyId) -> None:
-        """Proxy *proxy* leaves the overlay."""
+        """Proxy *proxy* leaves the overlay.
+
+        In incremental mode only its cluster is patched; if it was the
+        cluster's last member the cluster vanishes and the surviving
+        cluster ids compact downward (exactly as a full rebuild would).
+        """
         if proxy not in self._labels:
             raise MembershipError(f"proxy {proxy!r} is not a member")
         if len(self._labels) <= 2:
             raise MembershipError("cannot shrink the overlay below 2 proxies")
-        del self._labels[proxy]
+        cluster_id = self._labels.pop(proxy)
         del self._coords[proxy]
         del self._placement[proxy]
-        self._rebuild()
-        self._record("leave", proxy)
+        if self.incremental:
+            members = [p for p in self._clusters[cluster_id] if p != proxy]
+            if members:
+                self._clusters[cluster_id] = members
+                self._blocks[cluster_id] = self._block(members)
+                patch_borders_for_cluster(
+                    self._borders, cluster_id, self._clusters, self._blocks
+                )
+            else:
+                del self._clusters[cluster_id]
+                del self._blocks[cluster_id]
+                for p, c in self._labels.items():
+                    if c > cluster_id:
+                        self._labels[p] = c - 1
+                self._borders = drop_cluster_from_borders(
+                    self._borders, cluster_id
+                )
+        else:
+            self._full_rebuild()
+        self._finish_event("leave", proxy)
         self._maybe_restructure()
 
     def restructure(self) -> None:
-        """Re-run clustering from scratch (the elected proxy P's re-run)."""
-        space = CoordinateSpace(self._coords)
-        clustering = cluster_nodes(space, list(self._labels), self._cluster_config)
-        self._labels = dict(clustering.labels)
-        self._rebuild()
-        self._record("restructure", None)
+        """Re-run clustering from scratch (the elected proxy P's re-run).
+
+        The only full rebuild in incremental mode; it advances the version
+        epoch because cluster ids are reassigned wholesale.
+        """
+        clustering = cluster_nodes(
+            self.space, list(self._labels), self._cluster_config
+        )
+        self._adopt_labels(dict(clustering.labels))
+        self._refresh_borders()
+        self._finish_event("restructure", None, epoch=True)
 
     # -- quality ------------------------------------------------------------------
 
     def quality(self) -> float:
         """Current clustering quality (inter/intra separation ratio)."""
-        if self.clustering.cluster_count < 2:
+        if len(self._clusters) < 2:
             return float("inf")
         try:
             return separation_ratio(self.space, self.clustering)
-        except Exception:
+        except ClusteringError:
+            # degenerate layout (e.g. no cluster with >= 2 members): no
+            # defined ratio, but not a programming error
             return float("nan")
 
     def fresh_quality(self) -> float:
@@ -164,29 +304,72 @@ class DynamicOverlay:
 
     # -- internals ---------------------------------------------------------------
 
-    def _rebuild(self) -> None:
-        self.space = CoordinateSpace(self._coords)
-        proxies = list(self._labels)
-        # Compact cluster ids (clusters may vanish when their last member leaves).
-        ids = sorted({self._labels[p] for p in proxies})
+    def _block(self, members: Sequence[ProxyId]) -> np.ndarray:
+        """The coordinate block of *members* (same values as space.array)."""
+        return np.array([self._coords[p] for p in members], dtype=float)
+
+    def _adopt_labels(self, labels: Dict[ProxyId, int]) -> None:
+        """Install *labels*, compacting cluster ids to 0..k-1 (sorted order)."""
+        proxies = list(labels)
+        ids = sorted({labels[p] for p in proxies})
         remap = {old: new for new, old in enumerate(ids)}
         clusters: List[List[ProxyId]] = [[] for _ in ids]
         for p in proxies:
-            self._labels[p] = remap[self._labels[p]]
-            clusters[self._labels[p]].append(p)
-        self.clustering = Clustering(
-            clusters=[sorted(c) for c in clusters], labels=dict(self._labels)
+            labels[p] = remap[labels[p]]
+            clusters[labels[p]].append(p)
+        self._labels = labels
+        self._clusters = [sorted(c) for c in clusters]
+        self._blocks = [self._block(c) for c in self._clusters]
+
+    def _refresh_borders(self) -> None:
+        """Full closest-pair border scan over the current blocks."""
+        borders: Dict[Tuple[int, int], ProxyId] = {}
+        k = len(self._clusters)
+        for i in range(k):
+            for j in range(i + 1, k):
+                a, b = closest_cross_pair(self._blocks[i], self._blocks[j])
+                borders[(i, j)] = self._clusters[i][a]
+                borders[(j, i)] = self._clusters[j][b]
+        self._borders = borders
+
+    def _full_rebuild(self) -> None:
+        """The legacy rebuild-the-world path (``incremental=False``)."""
+        self._adopt_labels(dict(self._labels))
+        self._refresh_borders()
+
+    def _nearest_member(self, point: Sequence[float]) -> ProxyId:
+        """The current member geometrically closest to *point*."""
+        target = np.asarray(point, dtype=float)
+        best: Optional[ProxyId] = None
+        best_d = float("inf")
+        for members, block in zip(self._clusters, self._blocks):
+            diff = block - target[None, :]
+            d = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            i = int(np.argmin(d))
+            if float(d[i]) < best_d:
+                best, best_d = members[i], float(d[i])
+        if best is None:
+            raise MembershipError("overlay has no members to join next to")
+        return best
+
+    def _invalidate_views(self) -> None:
+        self._space_view: Optional[CoordinateSpace] = None
+        self._clustering_view: Optional[Clustering] = None
+        self._overlay_view: Optional[OverlayNetwork] = None
+        self._hfc_view: Optional[HFCTopology] = None
+
+    def _finish_event(
+        self, kind: str, proxy: Optional[ProxyId], *, epoch: bool = False
+    ) -> None:
+        self._invalidate_views()
+        self.version = (
+            self.version.bump_epoch() if epoch else self.version.bump()
         )
-        self.overlay = OverlayNetwork(
-            physical=self.framework.physical,
-            proxies=proxies,
-            placement={p: self._placement[p] for p in proxies},
-            space=self.space,
-        )
-        self.hfc: HFCTopology = build_hfc(self.overlay, self.clustering)
+        self._record(kind, proxy)
+        self.notifier.notify(self.version, kind=kind, proxy=proxy)
 
     def _record(self, kind: str, proxy: Optional[ProxyId]) -> None:
-        quality = self.quality()
+        quality = self.quality() if self.track_quality else None
         cluster = self._labels.get(proxy) if proxy is not None else None
         self.history.append(
             ChurnEvent(
@@ -194,19 +377,20 @@ class DynamicOverlay:
             )
         )
         telemetry = self.telemetry
-        assert telemetry is not None
+        if telemetry is None:
+            return
         telemetry.events.record(
             f"membership.{kind}",
             proxy=proxy,
             cluster=cluster,
             overlay_size=self.size,
-            clusters=self.clustering.cluster_count,
+            clusters=len(self._clusters),
             quality=quality,
         )
         telemetry.registry.counter("membership.events", kind=kind).inc()
         telemetry.registry.gauge("membership.overlay_size").set(self.size)
         telemetry.registry.gauge("membership.cluster_count").set(
-            self.clustering.cluster_count
+            len(self._clusters)
         )
 
     def _maybe_restructure(self) -> None:
@@ -227,6 +411,7 @@ def run_churn_session(
     join_probability: float = 0.5,
     seed: RngLike = None,
     restructure_tolerance: Optional[float] = 0.7,
+    incremental: bool = True,
 ) -> DynamicOverlay:
     """Drive a random churn session against *framework* (the E1 bench).
 
@@ -235,7 +420,11 @@ def run_churn_session(
     :class:`DynamicOverlay` with its full event history.
     """
     rng = ensure_rng(seed)
-    dyn = DynamicOverlay(framework, restructure_tolerance=restructure_tolerance)
+    dyn = DynamicOverlay(
+        framework,
+        restructure_tolerance=restructure_tolerance,
+        incremental=incremental,
+    )
     catalog = list(framework.catalog.names)
     used = set(dyn.proxies)
     free = [s for s in framework.physical.topology.stub_nodes if s not in used]

@@ -303,6 +303,23 @@ class HFCTopology:
         return route, true
 
 
+def closest_cross_pair(
+    block_i: np.ndarray, block_j: np.ndarray
+) -> Tuple[int, int]:
+    """Row/column indices of the closest cross pair between two blocks.
+
+    The blocked distance-matrix minimum at the heart of border selection.
+    Arithmetic and argmin tie-breaking (earliest row, then earliest column,
+    wins) are identical to :meth:`CoordinateSpace.closest_pair`, so full
+    scans and incremental per-pair patches select the same borders — the
+    equivalence suite asserts this.
+    """
+    diff = block_i[:, None, :] - block_j[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    flat = int(np.argmin(dist))
+    return divmod(flat, dist.shape[1])
+
+
 def select_borders_closest(
     space: CoordinateSpace, clustering: Clustering
 ) -> Dict[Tuple[int, int], ProxyId]:
@@ -312,9 +329,6 @@ def select_borders_closest(
     pair with one blocked distance-matrix minimum (cdist-style), instead of
     re-materialising both clusters' coordinates for each of the k(k-1)/2
     pairs the way per-pair :meth:`CoordinateSpace.closest_pair` calls do.
-    Arithmetic and argmin tie-breaking (earliest member indices win) are
-    identical to the per-pair path, so the selected borders match it
-    exactly — the equivalence suite asserts this.
     """
     k = clustering.cluster_count
     members = [clustering.members(i) for i in range(k)]
@@ -322,13 +336,54 @@ def select_borders_closest(
     borders: Dict[Tuple[int, int], ProxyId] = {}
     for i in range(k):
         for j in range(i + 1, k):
-            diff = blocks[i][:, None, :] - blocks[j][None, :, :]
-            dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-            flat = int(np.argmin(dist))
-            a, b = divmod(flat, dist.shape[1])
+            a, b = closest_cross_pair(blocks[i], blocks[j])
             borders[(i, j)] = members[i][a]
             borders[(j, i)] = members[j][b]
     return borders
+
+
+def patch_borders_for_cluster(
+    borders: Dict[Tuple[int, int], ProxyId],
+    cluster_id: int,
+    members: List[List[ProxyId]],
+    blocks: List[np.ndarray],
+) -> None:
+    """Re-select, in place, every border pair involving *cluster_id*.
+
+    The incremental membership layer calls this after a join or leave
+    touched one cluster: only the k-1 pairs that include the changed
+    cluster are re-reduced, each with the same blocked
+    :func:`closest_cross_pair` kernel the full scan uses, so the patched
+    ``borders`` dict is bit-identical to rerunning
+    :func:`select_borders_closest` from scratch. Pairs are always computed
+    in ``(min, max)`` cluster-id orientation to preserve the full scan's
+    tie-break direction.
+    """
+    k = len(members)
+    for other in range(k):
+        if other == cluster_id:
+            continue
+        i, j = (cluster_id, other) if cluster_id < other else (other, cluster_id)
+        a, b = closest_cross_pair(blocks[i], blocks[j])
+        borders[(i, j)] = members[i][a]
+        borders[(j, i)] = members[j][b]
+
+
+def drop_cluster_from_borders(
+    borders: Dict[Tuple[int, int], ProxyId], removed: int
+) -> Dict[Tuple[int, int], ProxyId]:
+    """Borders after cluster *removed* vanished and higher ids shifted down.
+
+    Matches the cluster-id compaction rule (surviving ids stay in sorted
+    order, so every id above *removed* decreases by one); pairs touching
+    the removed cluster are discarded.
+    """
+    compacted: Dict[Tuple[int, int], ProxyId] = {}
+    for (i, j), proxy in borders.items():
+        if i == removed or j == removed:
+            continue
+        compacted[(i - (i > removed), j - (j > removed))] = proxy
+    return compacted
 
 
 def select_borders_closest_reference(

@@ -5,8 +5,15 @@ answer is identical: the CSP depends only on the service graph's shape, the
 source proxy's cluster, and pd itself — not on which exact proxy inside the
 source cluster issued the data. Real deployments would memoise that step
 (it is the only step touching global aggregate state), so this module
-provides :class:`CachedHierarchicalRouter`: an LRU cache over CSPs with
-explicit invalidation for when SCT_C changes.
+provides :class:`CachedHierarchicalRouter`: an LRU cache over CSPs.
+
+Invalidation is version-driven: bind a capability feed
+(``capability_feed=...``, e.g. a protocol's
+:meth:`~repro.state.protocol.StateDistributionProtocol.capability_feed`
+or the framework's :meth:`~repro.core.framework.HFCFramework.capability_feed`)
+and the cache drops itself exactly when the feed's version moves — no
+caller has to guess when to call :meth:`~CachedHierarchicalRouter.invalidate`
+anymore (it remains available for feed-less manual wiring).
 
 The intra-cluster conquer step is *not* cached: it depends on the concrete
 endpoints and is already cheap and local.
@@ -71,6 +78,10 @@ class CachedHierarchicalRouter(HierarchicalRouter):
         )
 
     def cluster_level_path(self, request: ServiceRequest) -> ClusterServicePath:
+        # sync with the feed *before* consulting the cache: a version bump
+        # runs _capabilities_changed -> invalidate, so stale CSPs can never
+        # be served once the feed moved
+        self.refresh_capabilities()
         key = self._key(request)
         cached = self._cache.get(key)
         if cached is not None:
@@ -91,6 +102,10 @@ class CachedHierarchicalRouter(HierarchicalRouter):
         self._cache.clear()
         self.stats.invalidations += 1
         self._invalidation_counter.inc()
+
+    def _capabilities_changed(self) -> None:
+        # the feed version moved: every cached CSP may rest on stale SCT_C
+        self.invalidate()
 
     def update_capabilities(self, cluster_capabilities) -> None:
         """Replace SCT_C and invalidate the cache in one step."""

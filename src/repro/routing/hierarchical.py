@@ -99,6 +99,14 @@ class HierarchicalResult:
 class HierarchicalRouter:
     """Divide-and-conquer service routing over an HFC topology."""
 
+    #: sentinel: the router has never synchronised with its feed
+    _UNSYNCED = object()
+
+    # class-level defaults so partially wired routers (tests construct
+    # them field-by-field around __init__) behave as feed-less
+    capability_feed = None
+    _feed_version: object = _UNSYNCED
+
     def __init__(
         self,
         hfc: HFCTopology,
@@ -107,6 +115,7 @@ class HierarchicalRouter:
         cluster_capabilities: Optional[Dict[ClusterId, FrozenSet[ServiceName]]] = None,
         use_numpy: bool = True,
         telemetry: Optional[Telemetry] = None,
+        capability_feed=None,
     ) -> None:
         """
         Args:
@@ -120,6 +129,12 @@ class HierarchicalRouter:
             telemetry: observability scope; defaults to the process-wide
                 one (every resolution opens a ``route`` span tree and
                 bumps the request counters).
+            capability_feed: an optional versioned SCT_C source (anything
+                with ``.version`` and ``.capabilities()``, e.g.
+                :meth:`repro.state.protocol.StateDistributionProtocol.capability_feed`
+                or :class:`repro.core.versioning.MutableCapabilityFeed`).
+                When bound, the router re-pulls the view whenever the feed
+                version moves — it supersedes *cluster_capabilities*.
         """
         if method not in METHODS:
             raise RoutingError(f"method must be one of {METHODS}, got {method!r}")
@@ -127,13 +142,41 @@ class HierarchicalRouter:
         self.method = method
         self.use_numpy = use_numpy
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
-        if cluster_capabilities is None:
+        self.capability_feed = capability_feed
+        self._feed_version: object = self._UNSYNCED
+        if cluster_capabilities is None and capability_feed is None:
             cluster_capabilities = {
                 cid: aggregate_capability(hfc.overlay.placement, hfc.members(cid))
                 for cid in range(hfc.cluster_count)
             }
-        self.cluster_capabilities = cluster_capabilities
+        self.cluster_capabilities = cluster_capabilities or {}
         self._provider = CoordinateProvider(hfc.space)
+
+    # -- versioned capability view ---------------------------------------------
+
+    def refresh_capabilities(self) -> bool:
+        """Synchronise SCT_C with the bound feed; True if the view changed.
+
+        No-op without a feed or when the feed version is unchanged since
+        the last sync. On a change, :meth:`_capabilities_changed` runs so
+        subclasses can drop derived state (the CSP cache) — callers never
+        need to guess when to invalidate.
+        """
+        feed = self.capability_feed
+        if feed is None:
+            return False
+        version = feed.version
+        if version == self._feed_version:
+            return False
+        first = self._feed_version is self._UNSYNCED
+        self.cluster_capabilities = dict(feed.capabilities())
+        self._feed_version = version
+        if not first:
+            self._capabilities_changed()
+        return True
+
+    def _capabilities_changed(self) -> None:
+        """Hook: the capability view was replaced (subclasses drop caches)."""
 
     # -- public API -----------------------------------------------------------
 
@@ -185,6 +228,7 @@ class HierarchicalRouter:
 
     def cluster_level_path(self, request: ServiceRequest) -> ClusterServicePath:
         """Compute the CSP with the configured method."""
+        self.refresh_capabilities()
         hfc = self.hfc
         cs = hfc.cluster_of(request.source_proxy)
         cd = hfc.cluster_of(request.destination_proxy)

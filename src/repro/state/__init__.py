@@ -1,16 +1,26 @@
 """State tables, the distribution protocol, and overhead accounting."""
 
+from repro.state.delta import Announcement, DeltaAssembler, DeltaEmitter
 from repro.state.overhead import (
     coordinates_node_states,
     flat_node_states,
     mean_coordinates_overhead,
     mean_service_overhead,
+    message_overhead,
     service_node_states,
 )
-from repro.state.protocol import ProtocolReport, StateDistributionProtocol
+from repro.state.protocol import (
+    ProtocolCapabilityFeed,
+    ProtocolReport,
+    StateDistributionProtocol,
+)
 from repro.state.tables import ProxyState, ServiceCapabilityTable
 
 __all__ = [
+    "Announcement",
+    "DeltaAssembler",
+    "DeltaEmitter",
+    "ProtocolCapabilityFeed",
     "ProtocolReport",
     "ProxyState",
     "ServiceCapabilityTable",
@@ -19,5 +29,6 @@ __all__ = [
     "flat_node_states",
     "mean_coordinates_overhead",
     "mean_service_overhead",
+    "message_overhead",
     "service_node_states",
 ]

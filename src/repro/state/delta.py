@@ -1,0 +1,153 @@
+"""Sequence-numbered delta announcements for the state plane.
+
+The Section-4 protocol is soft state: senders periodically re-announce
+capability sets whether or not they changed, which makes every period cost
+O(|services|) per link at steady state. This module supplies the delta
+encoding the incremental protocol mode uses instead:
+
+* :class:`Announcement` — one announcement on one stream. Either a *full*
+  snapshot (the complete capability set) or a *delta* (services added and
+  removed since the previous announcement on the same stream), tagged with
+  a per-stream sequence number.
+* :class:`DeltaEmitter` — the sender side. Tracks the last announced set
+  per stream, emits deltas, and re-emits a full snapshot every
+  ``refresh_every`` announcements — the K-period refresh that keeps the
+  soft-state safety net: any receiver that missed a delta (loss, late
+  join) resynchronises at the next full snapshot without any
+  retransmission machinery.
+* :class:`DeltaAssembler` — the receiver side. Reassembles each stream's
+  current set; **stale** announcements (sequence not newer than the last
+  applied) are ignored, and deltas that don't extend the exact previous
+  sequence (a **gap**) are ignored until the next full snapshot re-anchors
+  the stream.
+
+Wire-size accounting: an announcement costs ``1`` abstract unit of header
+(sequence number + stream key) plus one unit per service name carried —
+so an unchanged set costs 1 instead of |services|, and the simulator's
+byte counters (``sim.bytes.delivered``) directly show the savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.services.catalog import ServiceName
+from repro.util.errors import StateError
+
+#: a stream identity: (flow, origin, ...) — opaque to this module
+StreamId = Tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """One announcement on one delta stream.
+
+    ``full`` is the complete set for full snapshots (``added``/``removed``
+    are empty); delta announcements carry only the symmetric difference
+    against the stream's previous announcement.
+    """
+
+    seq: int
+    full: Optional[FrozenSet[ServiceName]] = None
+    added: FrozenSet[ServiceName] = frozenset()
+    removed: FrozenSet[ServiceName] = frozenset()
+
+    @property
+    def is_full(self) -> bool:
+        return self.full is not None
+
+    @property
+    def wire_size(self) -> int:
+        """Abstract message size: 1 header unit + 1 per service carried."""
+        if self.full is not None:
+            return 1 + len(self.full)
+        return 1 + len(self.added) + len(self.removed)
+
+
+@dataclass
+class DeltaEmitter:
+    """Sender-side delta encoding with a K-announcement full refresh."""
+
+    #: every K-th announcement per stream is a full snapshot (K=1 means
+    #: always-full, i.e. the legacy behaviour with a header byte). The
+    #: default trades ~70% of the steady-state byte savings for a refresh
+    #: frequent enough that 30%+ message loss still converges quickly.
+    refresh_every: int = 4
+    _last: Dict[StreamId, FrozenSet[ServiceName]] = field(default_factory=dict)
+    _seq: Dict[StreamId, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.refresh_every < 1:
+            raise StateError(
+                f"refresh_every must be >= 1, got {self.refresh_every}"
+            )
+
+    def announce(
+        self, stream: StreamId, services: FrozenSet[ServiceName]
+    ) -> Announcement:
+        """The next announcement for *stream* now holding *services*."""
+        services = frozenset(services)
+        seq = self._seq.get(stream, 0) + 1
+        self._seq[stream] = seq
+        previous = self._last.get(stream)
+        self._last[stream] = services
+        if previous is None or (seq - 1) % self.refresh_every == 0:
+            return Announcement(seq=seq, full=services)
+        return Announcement(
+            seq=seq, added=services - previous, removed=previous - services
+        )
+
+
+@dataclass
+class DeltaAssembler:
+    """Receiver-side stream reassembly with stale/gap rejection."""
+
+    _seq: Dict[StreamId, int] = field(default_factory=dict)
+    _sets: Dict[StreamId, FrozenSet[ServiceName]] = field(default_factory=dict)
+    #: announcements ignored because their sequence was not newer
+    stale: int = 0
+    #: deltas ignored because an earlier announcement was missed
+    gaps: int = 0
+    #: announcements applied successfully
+    applied: int = 0
+
+    def current(self, stream: StreamId) -> Optional[FrozenSet[ServiceName]]:
+        """The last reconstructed set for *stream* (None if never anchored).
+
+        Lets a forwarder keep re-announcing its latest knowledge even when
+        an incoming announcement was ignored — each hop's refresh cadence
+        stays independent instead of gaps compounding across hops.
+        """
+        return self._sets.get(stream)
+
+    def apply(
+        self, stream: StreamId, announcement: Announcement
+    ) -> Optional[FrozenSet[ServiceName]]:
+        """Apply *announcement*; the stream's reconstructed set, or None.
+
+        None means the announcement was ignored: stale (old sequence) or a
+        gap (a delta whose base this assembler never saw). A gapped stream
+        stays ignored until the next full snapshot re-anchors it — the
+        sequence pointer is deliberately not advanced past a gap.
+        """
+        last = self._seq.get(stream, 0)
+        if announcement.seq <= last:
+            self.stale += 1
+            return None
+        if announcement.is_full:
+            self._seq[stream] = announcement.seq
+            value = announcement.full
+            assert value is not None
+            self._sets[stream] = value
+            self.applied += 1
+            return value
+        base = self._sets.get(stream)
+        if base is None or announcement.seq != last + 1:
+            self.gaps += 1
+            return None
+        value = (base - announcement.removed) | announcement.added
+        self._seq[stream] = announcement.seq
+        self._sets[stream] = value
+        self.applied += 1
+        return value

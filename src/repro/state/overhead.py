@@ -53,6 +53,27 @@ def service_node_states(hfc: HFCTopology) -> Dict[ProxyId, int]:
     return result
 
 
+def message_overhead(report) -> Dict[str, object]:
+    """Wire-cost accounting of one protocol run (delta vs full visible here).
+
+    Complements the Fig-9 *stored* node-state accounting with the *moved*
+    state: delivered sizes per message kind, dropped bytes (messages put
+    on the wire but lost to the loss model), and the mean delivered
+    message size — the number the delta encoding shrinks.
+    """
+    mean_size = (
+        report.total_size / report.total_messages if report.total_messages else 0.0
+    )
+    return {
+        "mode": report.mode,
+        "bytes_by_kind": dict(report.bytes_by_kind),
+        "total_messages": report.total_messages,
+        "total_size": report.total_size,
+        "dropped_bytes": report.dropped_bytes,
+        "mean_message_size": mean_size,
+    }
+
+
 def mean_coordinates_overhead(hfc: HFCTopology) -> float:
     """Mean per-proxy coordinates node-states (one Fig. 9(a) point)."""
     return float(np.mean(list(coordinates_node_states(hfc).values())))

@@ -20,22 +20,37 @@ responsible for forwarding it to other proxies of its own cluster"). This
 costs one intra-cluster flood per neighbour border per aggregate period at
 steady state, but it makes the soft-state flow self-healing — a lost
 forward is repaired one period later — which the loss-rate tests rely on.
+
+Two wire encodings are supported. ``mode="delta"`` (the default) sends
+sequence-numbered :class:`~repro.state.delta.Announcement` payloads — the
+symmetric difference since the stream's previous announcement, with a full
+snapshot every ``refresh_every`` announcements as the soft-state safety
+net; stale or gapped announcements are ignored by the receiver-side
+assembler. ``mode="full"`` is the legacy re-flood-everything encoding,
+kept as the cost baseline (``benchmarks/bench_churn.py`` measures the
+byte savings). Convergence semantics, ground-truth checks, and the
+per-proxy table contents are identical in both modes —
+``tests/test_delta_state.py`` asserts it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Union
 
 from repro.netsim.eventsim import Message, Process, Simulator
 from repro.overlay.hfc import HFCTopology
 from repro.overlay.network import ProxyId
 from repro.services.catalog import ServiceName
+from repro.state.delta import Announcement, DeltaAssembler, DeltaEmitter, StreamId
 from repro.state.tables import ProxyState
 from repro.util.errors import StateError
 from repro.util.rng import RngLike, ensure_rng
 
 ClusterId = int
+
+#: what travels in a payload's capability slot, depending on the mode
+WireBody = Union[FrozenSet[ServiceName], Announcement]
 
 
 @dataclass
@@ -50,10 +65,15 @@ class ProtocolReport:
             ground truth (None if the run ended first).
         messages_by_kind: delivered message counts per kind.
         total_messages: all delivered messages.
-        total_size: sum of message sizes (service-name count proxy).
+        total_size: sum of message sizes (service-name count proxy; in
+            delta mode, header + carried names per announcement).
         messages_dropped: messages lost to the configured loss rate.
         delivery_latency: per-kind ``{p50, p95, p99, mean}`` summaries of
             message delivery latency (simulated ms).
+        mode: the wire encoding the run used ("delta" or "full").
+        dropped_bytes: sizes of the dropped messages (so overhead reports
+            can account for bytes put on the wire but never delivered).
+        bytes_by_kind: delivered sizes per message kind.
     """
 
     converged_at: Optional[float]
@@ -62,6 +82,9 @@ class ProtocolReport:
     total_size: int
     messages_dropped: int = 0
     delivery_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    mode: str = "full"
+    dropped_bytes: int = 0
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready dump (the CLI's ``protocol --json``)."""
@@ -75,6 +98,9 @@ class ProtocolReport:
                 kind: dict(summary)
                 for kind, summary in self.delivery_latency.items()
             },
+            "mode": self.mode,
+            "dropped_bytes": self.dropped_bytes,
+            "bytes_by_kind": dict(self.bytes_by_kind),
         }
 
 
@@ -90,12 +116,48 @@ class _ProxyAgent(Process):
         self.proxy = proxy
         self.protocol = protocol
         self.state = protocol.states[proxy]
+        if protocol.delta:
+            self.emitter: Optional[DeltaEmitter] = DeltaEmitter(
+                refresh_every=protocol.refresh_every
+            )
+            self.assembler: Optional[DeltaAssembler] = DeltaAssembler()
+        else:
+            self.emitter = None
+            self.assembler = None
 
     def send(self, recipient, kind, payload, delay, size=1) -> None:
-        # model in-transit loss: a dropped message never reaches the heap
-        if self.protocol.should_drop():
+        # model in-transit loss: a dropped message never reaches the heap,
+        # but its bytes were spent — account them as dropped
+        if self.protocol.should_drop(size):
             return
         super().send(recipient, kind, payload, delay, size)
+
+    # -- wire encoding --------------------------------------------------------
+
+    def _encode(
+        self, stream: StreamId, services: FrozenSet[ServiceName]
+    ) -> "tuple[WireBody, int]":
+        """The body + abstract size to put on the wire for *services*."""
+        if self.emitter is None:
+            return services, len(services)
+        announcement = self.emitter.announce(stream, services)
+        self.protocol.count_announcement(announcement)
+        return announcement, announcement.wire_size
+
+    def _decode(
+        self, stream: StreamId, body: WireBody
+    ) -> Optional[FrozenSet[ServiceName]]:
+        """The capability set carried by *body*, or None if it was ignored."""
+        if self.assembler is None:
+            assert isinstance(body, frozenset)
+            return body
+        assert isinstance(body, Announcement)
+        stale_before = self.assembler.stale
+        value = self.assembler.apply(stream, body)
+        if value is None:
+            reason = "stale" if self.assembler.stale > stale_before else "gap"
+            self.protocol.count_ignored(reason)
+        return value
 
     # -- behaviour ------------------------------------------------------------
 
@@ -119,57 +181,97 @@ class _ProxyAgent(Process):
 
     def _broadcast_local(self) -> None:
         services = self.state.local_capability()
+        body, size = self._encode(("local",), services)
         for member in self.protocol.cluster_members[self.state.cluster_id]:
             if member == self.proxy:
                 continue
             self.send(
                 member,
                 "local_state",
-                (self.proxy, services),
+                (self.proxy, body),
                 delay=self.protocol.delay(self.proxy, member),
-                size=len(services),
+                size=size,
             )
 
     def _broadcast_aggregate(self) -> None:
         aggregate = self.state.aggregate_own_cluster()
+        body, size = self._encode(("aggregate",), aggregate)
         for peer in self.protocol.border_peers[self.proxy]:
             self.send(
                 peer,
                 "aggregate_state",
-                (self.state.cluster_id, aggregate),
+                (self.state.cluster_id, body),
                 delay=self.protocol.delay(self.proxy, peer),
-                size=len(aggregate),
+                size=size,
             )
 
     def receive(self, message: Message) -> None:
         sim = self.simulator
         assert sim is not None
         if message.kind == "local_state":
-            sender, services = message.payload
+            sender, body = message.payload
+            services = self._decode(("local", sender), body)
+            if services is None:
+                return
             self.state.sct_p.update(sender, services, now=sim.now)
             self.state.sct_c.update(
                 self.state.cluster_id, self.state.aggregate_own_cluster(), now=sim.now
             )
         elif message.kind in ("aggregate_state", "aggregate_forward"):
-            cluster, aggregate = message.payload
-            self.state.sct_c.update(cluster, aggregate, now=sim.now)
+            cluster, body = message.payload
+            flow = "aggregate" if message.kind == "aggregate_state" else "forward"
+            stream = (flow, message.sender, cluster)
+            services = self._decode(stream, body)
+            if services is not None:
+                self.state.sct_c.update(cluster, services, now=sim.now)
+            elif message.kind == "aggregate_state" and self.assembler is not None:
+                # The announcement was ignored (stale or gapped), but a
+                # border must keep re-flooding its latest knowledge so each
+                # hop's full-refresh cadence heals independently — gaps must
+                # not compound across the aggregate -> forward chain.
+                services = self.assembler.current(stream)
+            if services is None:
+                return
             # Forward every received aggregate into the own cluster (the
             # paper's rule). Unconditional forwarding makes the soft-state
             # flow self-healing: a lost forward is repaired one aggregate
             # period later when the peer border re-sends.
             if message.kind == "aggregate_state":
+                fwd_body, fwd_size = self._encode(("forward", cluster), services)
                 for member in self.protocol.cluster_members[self.state.cluster_id]:
                     if member == self.proxy:
                         continue
                     self.send(
                         member,
                         "aggregate_forward",
-                        (cluster, aggregate),
+                        (cluster, fwd_body),
                         delay=self.protocol.delay(self.proxy, member),
-                        size=len(aggregate),
+                        size=fwd_size,
                     )
         else:
             raise StateError(f"unknown message kind {message.kind!r}")
+
+
+class ProtocolCapabilityFeed:
+    """A versioned SCT_C view over a running protocol (feed contract).
+
+    ``version`` is the observer proxy's SCT_C revision counter — it
+    advances exactly when the observed table content changes, so routers
+    bound to this feed refresh (and drop their caches) precisely when the
+    protocol learned something new. Duck-typed against
+    :class:`repro.core.versioning.CapabilityFeed`.
+    """
+
+    def __init__(self, protocol: "StateDistributionProtocol") -> None:
+        self._protocol = protocol
+        self._observer = protocol.states[protocol.hfc.overlay.proxies[0]]
+
+    @property
+    def version(self) -> int:
+        return self._observer.sct_c.revision
+
+    def capabilities(self) -> Dict[ClusterId, FrozenSet[ServiceName]]:
+        return self._protocol.capabilities_for_routing()
 
 
 class StateDistributionProtocol:
@@ -184,21 +286,39 @@ class StateDistributionProtocol:
         loss_rate: float = 0.0,
         seed: RngLike = None,
         telemetry=None,
+        mode: str = "delta",
+        refresh_every: int = 4,
     ) -> None:
         if local_period <= 0 or aggregate_period <= 0:
             raise StateError("protocol periods must be positive")
         if not 0.0 <= loss_rate < 1.0:
             raise StateError("loss_rate must be in [0, 1)")
+        if mode not in ("delta", "full"):
+            raise StateError(f"mode must be 'delta' or 'full', got {mode!r}")
+        if refresh_every < 1:
+            raise StateError(f"refresh_every must be >= 1, got {refresh_every}")
         self.hfc = hfc
         self.local_period = local_period
         self.aggregate_period = aggregate_period
         #: probability that any single protocol message is silently dropped;
         #: the periodic soft-state design must converge regardless
         self.loss_rate = loss_rate
+        #: wire encoding: "delta" (sequence-numbered diffs + K-period full
+        #: refresh) or "full" (the legacy re-flood-everything baseline)
+        self.mode = mode
+        self.delta = mode == "delta"
+        #: every K-th announcement per stream is a full snapshot
+        self.refresh_every = refresh_every
         self._rng = ensure_rng(seed)
         self.sim = Simulator(telemetry=telemetry)
-        self._dropped = self.sim.telemetry.registry.counter(
-            "protocol.messages.dropped"
+        registry = self.sim.telemetry.registry
+        self._dropped = registry.counter("protocol.messages.dropped")
+        self._dropped_bytes = registry.counter("protocol.dropped_bytes")
+        self._announced_full = registry.counter(
+            "protocol.announcements", kind="full"
+        )
+        self._announced_delta = registry.counter(
+            "protocol.announcements", kind="delta"
         )
 
         self.cluster_members: Dict[ClusterId, List[ProxyId]] = {
@@ -220,8 +340,11 @@ class StateDistributionProtocol:
             state.sct_c.update(state.cluster_id, hfc.overlay.placement[proxy], now=0.0)
             self.states[proxy] = state
 
+        self._agents: List[_ProxyAgent] = []
         for proxy in hfc.overlay.proxies:
-            self.sim.register(_ProxyAgent(proxy, self))
+            agent = _ProxyAgent(proxy, self)
+            self._agents.append(agent)
+            self.sim.register(agent)
 
     # -- plumbing ---------------------------------------------------------------
 
@@ -234,12 +357,41 @@ class StateDistributionProtocol:
         """Messages lost to the configured loss rate so far."""
         return self._dropped.value
 
-    def should_drop(self) -> bool:
-        """Bernoulli(loss_rate) draw; counts drops for reporting."""
+    @property
+    def dropped_bytes(self) -> int:
+        """Total abstract size of the messages lost to the loss rate."""
+        return self._dropped_bytes.value
+
+    def should_drop(self, size: int = 1) -> bool:
+        """Bernoulli(loss_rate) draw; counts drops (and their bytes)."""
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self._dropped.inc()
+            self._dropped_bytes.inc(size)
             return True
         return False
+
+    def count_announcement(self, announcement: Announcement) -> None:
+        """Tally a delta-mode announcement by kind (full vs delta)."""
+        if announcement.is_full:
+            self._announced_full.inc()
+        else:
+            self._announced_delta.inc()
+
+    def count_ignored(self, reason: str) -> None:
+        """Tally a receiver-side ignored announcement (stale or gap)."""
+        self.sim.telemetry.registry.counter(
+            "protocol.delta.ignored", reason=reason
+        ).inc()
+
+    def delta_stats(self) -> Dict[str, int]:
+        """Aggregate assembler statistics across all proxies (delta mode)."""
+        stats = {"applied": 0, "stale": 0, "gaps": 0}
+        for agent in self._agents:
+            if agent.assembler is not None:
+                stats["applied"] += agent.assembler.applied
+                stats["stale"] += agent.assembler.stale
+                stats["gaps"] += agent.assembler.gaps
+        return stats
 
     # -- dynamics ----------------------------------------------------------------
 
@@ -249,7 +401,8 @@ class StateDistributionProtocol:
         Updates the ground truth (the overlay placement) and the proxy's own
         SCT_P entry; the change then propagates through the normal periodic
         local-state and aggregate-state flows — re-convergence time is the
-        interesting measurement.
+        interesting measurement. In delta mode the next announcements carry
+        exactly the add/remove difference.
         """
         if proxy not in self.states:
             raise StateError(f"unknown proxy {proxy!r}")
@@ -334,6 +487,9 @@ class StateDistributionProtocol:
             total_size=self.sim.bytes_delivered,
             messages_dropped=self.messages_dropped,
             delivery_latency=latency_summaries,
+            mode=self.mode,
+            dropped_bytes=self.dropped_bytes,
+            bytes_by_kind=registry.values_by_label("sim.bytes.delivered", "kind"),
         )
 
     def capabilities_for_routing(self) -> Dict[ClusterId, FrozenSet[ServiceName]]:
@@ -349,3 +505,12 @@ class StateDistributionProtocol:
             for cid in range(self.hfc.cluster_count)
             if cid in observer.sct_c
         }
+
+    def capability_feed(self) -> ProtocolCapabilityFeed:
+        """A versioned feed over :meth:`capabilities_for_routing`.
+
+        Bind it to a router (``capability_feed=...``) and the router
+        refreshes — invalidating any cached answers — exactly when the
+        observer's SCT_C content changes.
+        """
+        return ProtocolCapabilityFeed(self)

@@ -31,9 +31,15 @@ class _Entry:
 
 @dataclass
 class ServiceCapabilityTable:
-    """A keyed table of service-capability sets with update timestamps."""
+    """A keyed table of service-capability sets with update timestamps.
+
+    ``revision`` increments on every content change — a cheap monotonic
+    version consumers (the routing capability feeds) compare instead of
+    diffing table snapshots.
+    """
 
     _entries: Dict[Hashable, _Entry] = field(default_factory=dict)
+    revision: int = 0
 
     def update(
         self, key: Hashable, services: FrozenSet[ServiceName], now: float = 0.0
@@ -42,11 +48,14 @@ class ServiceCapabilityTable:
         previous = self._entries.get(key)
         changed = previous is None or previous.services != services
         self._entries[key] = _Entry(services=frozenset(services), updated_at=now)
+        if changed:
+            self.revision += 1
         return changed
 
     def remove(self, key: Hashable) -> None:
         """Drop *key*'s entry (no-op if absent)."""
-        self._entries.pop(key, None)
+        if self._entries.pop(key, None) is not None:
+            self.revision += 1
 
     def services_of(self, key: Hashable) -> FrozenSet[ServiceName]:
         """The recorded capability set for *key*."""

@@ -123,6 +123,59 @@ class TestRestructure:
             assert q >= 0.7 * fresh - 1e-6
 
 
+class TestVersioning:
+    def test_incremental_is_the_default(self, dyn):
+        assert dyn.incremental is True
+
+    def test_join_and_leave_bump_step(self, framework, dyn):
+        v0 = dyn.version
+        router_id = free_stub(framework, dyn)
+        dyn.join(router_id, frozenset({"s0"}))
+        assert dyn.version == v0.bump()
+        dyn.leave(router_id)
+        assert dyn.version == v0.bump().bump()
+
+    def test_restructure_bumps_epoch(self, dyn):
+        epoch = dyn.version.epoch
+        dyn.restructure()
+        assert dyn.version.epoch == epoch + 1
+        assert dyn.version.step == 0
+
+    def test_notifier_fires_per_event(self, framework, dyn):
+        seen = []
+        dyn.notifier.subscribe(
+            lambda version, **info: seen.append((version, info["kind"]))
+        )
+        router_id = free_stub(framework, dyn)
+        dyn.join(router_id, frozenset({"s0"}))
+        dyn.leave(router_id)
+        assert [kind for _, kind in seen] == ["join", "leave"]
+        assert seen[0][0] < seen[1][0]
+
+    def test_full_mode_produces_same_topology(self, framework):
+        inc = DynamicOverlay(framework, restructure_tolerance=None)
+        full = DynamicOverlay(
+            framework, restructure_tolerance=None, incremental=False
+        )
+        victim = inc.hfc.all_border_nodes()[0]
+        inc.leave(victim)
+        full.leave(victim)
+        assert inc.hfc.borders == full.hfc.borders
+
+    def test_quality_tracking_can_be_disabled(self, framework):
+        dyn = DynamicOverlay(
+            framework, restructure_tolerance=None, track_quality=False
+        )
+        dyn.leave(dyn.proxies[0])
+        assert dyn.history[-1].quality_after is None
+
+    def test_tolerates_missing_telemetry(self, framework):
+        dyn = DynamicOverlay(framework, restructure_tolerance=None)
+        dyn.telemetry = None  # e.g. a stripped embedded deployment
+        dyn.leave(dyn.proxies[0])  # must not raise
+        assert dyn.history[-1].kind == "leave"
+
+
 class TestChurnSession:
     def test_history_populated(self, framework):
         dyn = run_churn_session(framework, events=20, seed=3,
