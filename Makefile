@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples clean lint bench-smoke ci
+.PHONY: install test bench bench-full bench-query examples clean lint bench-smoke ci
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +22,10 @@ bench-full:
 bench-output:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
+# Regenerate the batched-query bench (BENCH_query.json) at the active scale.
+bench-query:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_query.py --benchmark-only -q
+
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
 
@@ -35,15 +39,18 @@ lint:
 		mypy src/repro; \
 	else echo "mypy not installed; skipping (CI runs it)"; fi
 
-# The CI bench-smoke job: regenerate the small-scale construction and churn
-# benches and gate their speedup ratios against the committed baselines.
+# The CI bench-smoke job: regenerate the small-scale construction, churn and
+# query benches and gate their speedup ratios against the committed baselines.
 bench-smoke:
 	cp BENCH_construction.json /tmp/bench_baseline.json
 	cp BENCH_churn.json /tmp/churn_baseline.json
+	cp BENCH_query.json /tmp/query_baseline.json
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_construction.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_churn.py::test_incremental_churn_speedup --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_query.py --benchmark-only -q
 	$(PYTHON) scripts/check_bench_regression.py /tmp/bench_baseline.json BENCH_construction.json --tolerance 0.25
 	$(PYTHON) scripts/check_bench_regression.py /tmp/churn_baseline.json BENCH_churn.json --tolerance 0.25 --metric maintenance --metric state_bytes
+	$(PYTHON) scripts/check_bench_regression.py /tmp/query_baseline.json BENCH_query.json --tolerance 0.25 --metric batch_throughput --metric single_query
 
 # Mirror the full CI workflow locally: tier-1 tests, lint, bench smoke + gate.
 ci:

@@ -41,6 +41,10 @@ class FrameworkConfig:
         embedding_workers: optional process-pool size for the per-proxy
             coordinate solves (proxies embed independently given the
             landmarks); ``None`` solves in-process.
+        query_workers: optional process-pool size for the conquer step of
+            batched routing (``route_many``); ``None`` solves in-process.
+            The conquer fan-out is result-invariant, so this is purely a
+            throughput knob — the query-path twin of ``embedding_workers``.
     """
 
     physical_nodes: Optional[int] = None
@@ -56,6 +60,7 @@ class FrameworkConfig:
     mesh_weight: str = "coords"
     vectorized_construction: bool = True
     embedding_workers: Optional[int] = None
+    query_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.landmark_count < self.dimension + 1:
@@ -73,6 +78,8 @@ class FrameworkConfig:
             raise ReproError("mesh_weight must be 'coords' or 'true'")
         if self.embedding_workers is not None and self.embedding_workers < 1:
             raise ReproError("embedding_workers must be >= 1 or None")
+        if self.query_workers is not None and self.query_workers < 1:
+            raise ReproError("query_workers must be >= 1 or None")
 
     def physical_size_for(self, proxy_count: int) -> int:
         """Physical topology size for *proxy_count* proxies.

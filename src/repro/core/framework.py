@@ -177,12 +177,24 @@ class HFCFramework:
 
     # -- routers -------------------------------------------------------------------
 
-    def hierarchical_router(self, method: str = "backtrack") -> HierarchicalRouter:
-        """The paper's divide-and-conquer router (HFC with aggregation)."""
-        return HierarchicalRouter(self.hfc, method=method)
+    def hierarchical_router(
+        self, method: str = "backtrack", **kwargs
+    ) -> HierarchicalRouter:
+        """The paper's divide-and-conquer router (HFC with aggregation).
+
+        Extra keyword arguments (``csp_engine``, ``query_workers``, ...)
+        pass through to :class:`HierarchicalRouter`; ``query_workers``
+        defaults to the framework config's value.
+        """
+        kwargs.setdefault("query_workers", self.config.query_workers)
+        return HierarchicalRouter(self.hfc, method=method, **kwargs)
 
     def cached_hierarchical_router(
-        self, method: str = "backtrack", cache_size: int = 1024, capability_feed=None
+        self,
+        method: str = "backtrack",
+        cache_size: int = 1024,
+        capability_feed=None,
+        **kwargs,
     ):
         """The hierarchical router with CSP memoisation (production shape).
 
@@ -192,11 +204,13 @@ class HFCFramework:
         """
         from repro.routing.cache import CachedHierarchicalRouter
 
+        kwargs.setdefault("query_workers", self.config.query_workers)
         return CachedHierarchicalRouter(
             self.hfc,
             method=method,
             cache_size=cache_size,
             capability_feed=capability_feed,
+            **kwargs,
         )
 
     def mesh_router(self, *, seed: RngLike = None, mesh: Optional[Graph] = None) -> MeshRouter:

@@ -25,6 +25,7 @@ from repro.experiments.workload import (
     WorkloadConfig,
     generate_requests,
     random_service_graph,
+    resolve_requests,
 )
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "build_environment",
     "generate_requests",
     "random_service_graph",
+    "resolve_requests",
     "run_overhead_experiment",
     "run_path_efficiency",
     "scale_factor",

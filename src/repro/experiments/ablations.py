@@ -36,7 +36,11 @@ from repro.coords.embedding import embedding_accuracy
 from repro.core.config import FrameworkConfig
 from repro.experiments.environments import EnvironmentSpec, build_environment, scaled_table1
 from repro.experiments.report import ascii_table
-from repro.experiments.workload import WorkloadConfig, generate_requests
+from repro.experiments.workload import (
+    WorkloadConfig,
+    generate_requests,
+    resolve_requests,
+)
 from repro.overlay.hfc import build_hfc
 from repro.overlay.mesh import build_mesh
 from repro.routing.hierarchical import HierarchicalRouter
@@ -52,8 +56,10 @@ def _small_spec(specs: Optional[Sequence[EnvironmentSpec]] = None) -> Environmen
 
 
 def _mean_delay(router, requests, overlay) -> float:
+    result = resolve_requests(router, requests)
+    result.raise_first()
     return float(
-        np.mean([router.route(r).true_delay(overlay) for r in requests])
+        np.mean([path.true_delay(overlay) for path in result.paths])
     )
 
 

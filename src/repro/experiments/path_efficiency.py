@@ -29,8 +29,12 @@ from repro.experiments.environments import (
     scaled_table1,
 )
 from repro.experiments.report import series_block
-from repro.experiments.workload import WorkloadConfig, generate_requests
-from repro.util.errors import NoFeasiblePathError, ReproError
+from repro.experiments.workload import (
+    WorkloadConfig,
+    generate_requests,
+    resolve_requests,
+)
+from repro.util.errors import ReproError
 from repro.util.rng import RngLike, ensure_rng, spawn
 
 DEFAULT_STRATEGIES = ("mesh", "hfc_agg", "hfc_full")
@@ -132,14 +136,17 @@ def run_path_efficiency(
             routers = _routers_for(
                 env, strategies, seed=spawn(rng, f"mesh-{spec.proxies}-{t}")
             )
-            for request in requests:
-                for name, router in routers.items():
-                    try:
-                        path = router.route(request)
-                    except NoFeasiblePathError:
-                        failures[name] += 1
-                        continue
-                    delays[name].append(path.true_delay(env.framework.overlay))
+            # one batched pass per strategy: shared per-batch precompute
+            # (tables, provider index, CSP memo) replaces the per-request
+            # rebuild; mesh falls back to the scalar loop transparently
+            for name, router in routers.items():
+                result = resolve_requests(router, requests)
+                failures[name] += result.infeasible_count
+                delays[name].extend(
+                    path.true_delay(env.framework.overlay)
+                    for path in result.paths
+                    if path is not None
+                )
         points.append(
             EfficiencyPoint(
                 proxies=spec.proxies,

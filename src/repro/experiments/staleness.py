@@ -30,10 +30,10 @@ import numpy as np
 
 from repro.core.framework import HFCFramework
 from repro.experiments.report import ascii_table
+from repro.experiments.workload import resolve_requests
 from repro.routing.cache import CachedHierarchicalRouter
 from repro.services.request import ServiceRequest
 from repro.state.protocol import StateDistributionProtocol
-from repro.util.errors import NoFeasiblePathError
 from repro.util.rng import RngLike, ensure_rng, spawn
 
 
@@ -110,19 +110,18 @@ def _route_all(
     requests: List[ServiceRequest],
     router: CachedHierarchicalRouter,
 ) -> StalenessRow:
-    delays: List[float] = []
-    infeasible = 0
-    for request in requests:
-        try:
-            path = router.route(request)
-        except NoFeasiblePathError:
-            infeasible += 1
-            continue
-        delays.append(path.true_delay(framework.overlay))
+    # batched resolution: stale-table infeasibility surfaces as per-request
+    # errors in the result instead of exceptions interrupting the loop
+    result = resolve_requests(router, requests)
+    delays: List[float] = [
+        path.true_delay(framework.overlay)
+        for path in result.paths
+        if path is not None
+    ]
     return StalenessRow(
         state=label,
         routed=len(delays),
-        infeasible=infeasible,
+        infeasible=result.infeasible_count,
         mean_delay=float(np.mean(delays)) if delays else float("nan"),
     )
 

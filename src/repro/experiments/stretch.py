@@ -21,8 +21,12 @@ from repro.experiments.environments import (
 )
 from repro.experiments.path_efficiency import _routers_for
 from repro.experiments.report import ascii_table
-from repro.experiments.workload import WorkloadConfig, generate_requests
-from repro.util.errors import NoFeasiblePathError, ReproError
+from repro.experiments.workload import (
+    WorkloadConfig,
+    generate_requests,
+    resolve_requests,
+)
+from repro.util.errors import ReproError
 from repro.util.rng import RngLike, ensure_rng, spawn
 
 
@@ -58,17 +62,21 @@ def run_stretch_analysis(
     routers = _routers_for(env, list(strategies), seed=spawn(rng, "mesh"))
     oracle = framework.oracle_router()
 
+    # one batched pass per router: the oracle baseline and every strategy
+    # share their per-batch precomputation instead of re-deriving it per
+    # request (resolve_requests falls back to a scalar loop for routers
+    # without route_many support, e.g. the mesh baseline)
+    oracle_result = resolve_requests(oracle, requests)
+    oracle_result.raise_first()
+    bases = [path.true_delay(framework.overlay) for path in oracle_result.paths]
+
     stretches: Dict[str, List[float]] = {name: [] for name in strategies}
-    for request in requests:
-        base = oracle.route(request).true_delay(framework.overlay)
-        if base <= 0:
-            continue
-        for name, router in routers.items():
-            try:
-                delay = router.route(request).true_delay(framework.overlay)
-            except NoFeasiblePathError:
+    for name, router in routers.items():
+        result = resolve_requests(router, requests)
+        for base, path in zip(bases, result.paths):
+            if base <= 0 or path is None:
                 continue
-            stretches[name].append(delay / base)
+            stretches[name].append(path.true_delay(framework.overlay) / base)
 
     rows: List[StretchRow] = []
     for name in strategies:

@@ -10,13 +10,15 @@ The paper evaluates linear SGs; non-linear SGs are supported behind
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.experiments.environments import Environment
+from repro.routing.batch import BatchRouteResult
+from repro.routing.path import ServicePath
 from repro.services.catalog import ServiceCatalog
 from repro.services.graph import ServiceGraph, branching_graph, linear_graph
 from repro.services.request import ServiceRequest
-from repro.util.errors import ReproError
+from repro.util.errors import NoFeasiblePathError, ReproError
 from repro.util.rng import RngLike, ensure_rng
 
 
@@ -135,3 +137,28 @@ def generate_requests(
         )
         requests.append(ServiceRequest(source, sg, destination))
     return requests
+
+
+def resolve_requests(router, requests: Sequence[ServiceRequest]) -> BatchRouteResult:
+    """Route a whole workload through *router*, batched when it can be.
+
+    Routers exposing ``route_many_detailed`` (the hierarchical family, flat
+    routers) resolve the batch with shared per-batch precomputation; any
+    other router falls back to a per-request loop. Either way the result
+    aligns index-for-index with *requests*: exactly one of ``paths[i]`` /
+    ``errors[i]`` is set, and an infeasible request carries the same error
+    the scalar ``route`` call would have raised.
+    """
+    route_many_detailed = getattr(router, "route_many_detailed", None)
+    if route_many_detailed is not None:
+        return route_many_detailed(requests)
+    paths: List[Optional[ServicePath]] = []
+    errors: List[Optional[NoFeasiblePathError]] = []
+    for request in requests:
+        try:
+            paths.append(router.route(request))
+            errors.append(None)
+        except NoFeasiblePathError as exc:
+            paths.append(None)
+            errors.append(exc)
+    return BatchRouteResult(paths=paths, errors=errors)

@@ -1,9 +1,20 @@
 """Service routing: paths, service DAGs, flat/mesh/hierarchical routers."""
 
 from repro.routing.aggregation import CentroidAggregationRouter
+from repro.routing.batch import (
+    BatchRouteResult,
+    QueryTables,
+    query_tables,
+    service_graph_signature,
+)
 from repro.routing.cache import CachedHierarchicalRouter
 from repro.routing.signaling import SetupReport, SignalingSimulator
-from repro.routing.flat import FlatRouter, coordinate_router, oracle_router
+from repro.routing.flat import (
+    FlatRouter,
+    coordinate_router,
+    materialise_assignment,
+    oracle_router,
+)
 from repro.routing.hierarchical import (
     ChildRequest,
     ClusterServicePath,
@@ -26,6 +37,7 @@ from repro.routing.servicedag import (
 )
 
 __all__ = [
+    "BatchRouteResult",
     "CachedHierarchicalRouter",
     "CentroidAggregationRouter",
     "ChildRequest",
@@ -39,6 +51,7 @@ __all__ = [
     "Hop",
     "MatrixProvider",
     "MeshRouter",
+    "QueryTables",
     "ServicePath",
     "SetupReport",
     "SignalingSimulator",
@@ -46,8 +59,11 @@ __all__ = [
     "brute_force",
     "coordinate_router",
     "hfc_full_state_router",
+    "materialise_assignment",
     "oracle_router",
     "path_from_assignment",
+    "query_tables",
+    "service_graph_signature",
     "solve_reference",
     "solve_vectorised",
     "validate_path",

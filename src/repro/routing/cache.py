@@ -25,18 +25,16 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
 
+from repro.routing.batch import service_graph_signature
 from repro.routing.hierarchical import ClusterServicePath, HierarchicalRouter
-from repro.services.graph import ServiceGraph
 from repro.services.request import ServiceRequest
 from repro.util.errors import RoutingError
 
-
-def service_graph_signature(sg: ServiceGraph) -> Hashable:
-    """A hashable identity of an SG's shape and service names."""
-    return (
-        tuple(sorted((slot, name) for slot, name in sg.services.items())),
-        tuple(sorted(sg.edges)),
-    )
+__all__ = [
+    "CachedHierarchicalRouter",
+    "CacheStats",
+    "service_graph_signature",  # canonical home: repro.routing.batch
+]
 
 
 @dataclass
@@ -77,12 +75,12 @@ class CachedHierarchicalRouter(HierarchicalRouter):
             request.destination_proxy,
         )
 
-    def cluster_level_path(self, request: ServiceRequest) -> ClusterServicePath:
-        # sync with the feed *before* consulting the cache: a version bump
-        # runs _capabilities_changed -> invalidate, so stale CSPs can never
-        # be served once the feed moved
-        self.refresh_capabilities()
-        key = self._key(request)
+    def _csp_cache_get(self, key: Hashable):
+        """LRU lookup; counts a hit or a miss either way.
+
+        The batch engine consults this before its padded CSP pass, so
+        cross-batch reuse works exactly like per-request reuse.
+        """
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
@@ -91,10 +89,24 @@ class CachedHierarchicalRouter(HierarchicalRouter):
             return cached
         self.stats.misses += 1
         self._miss_counter.inc()
-        csp = super().cluster_level_path(request)
+        return None
+
+    def _csp_cache_put(self, key: Hashable, csp: ClusterServicePath) -> None:
         self._cache[key] = csp
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
+
+    def cluster_level_path(self, request: ServiceRequest) -> ClusterServicePath:
+        # sync with the feed *before* consulting the cache: a version bump
+        # runs _capabilities_changed -> invalidate, so stale CSPs can never
+        # be served once the feed moved
+        self.refresh_capabilities()
+        key = self._key(request)
+        cached = self._csp_cache_get(key)
+        if cached is not None:
+            return cached
+        csp = super().cluster_level_path(request)
+        self._csp_cache_put(key, csp)
         return csp
 
     def invalidate(self) -> None:

@@ -14,7 +14,7 @@ proxy's services and a distance between every proxy pair (through a
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.overlay.network import OverlayNetwork, ProxyId
 from repro.routing.path import Hop, ServicePath
@@ -25,7 +25,11 @@ from repro.routing.providers import (
 )
 from repro.routing.servicedag import solve_reference, solve_vectorised
 from repro.services.request import ServiceRequest
+from repro.telemetry import get_telemetry
 from repro.util.errors import RoutingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (batch imports flat)
+    from repro.routing.batch import BatchRouteResult
 
 #: expands one overlay hop (u, v) into the relay proxy sequence [u, ..., v]
 HopExpander = Callable[[ProxyId, ProxyId], Sequence[ProxyId]]
@@ -80,7 +84,19 @@ class FlatRouter:
         Raises :class:`NoFeasiblePathError` when the request cannot be
         satisfied by the (possibly filtered) overlay.
         """
-        candidates = self.candidates_for(request)
+        return self.route_with_candidates(request, self.candidates_for(request))
+
+    def route_with_candidates(
+        self,
+        request: ServiceRequest,
+        candidates: Dict[int, List[ProxyId]],
+    ) -> ServicePath:
+        """Solve *request* against precomputed per-slot candidates.
+
+        The batch engine computes candidate lists once per (cluster,
+        service) pair and feeds them here; with the lists produced by
+        :meth:`candidates_for` this is exactly :meth:`route`.
+        """
         if self.use_numpy:
             solution = solve_vectorised(
                 request.service_graph,
@@ -99,31 +115,99 @@ class FlatRouter:
             )
         return self._materialise(request, solution.assignment)
 
+    def route_many(self, requests: Sequence[ServiceRequest]) -> List[ServicePath]:
+        """Resolve a batch, sharing the provider index; raises on the first
+        infeasible request (in request order), like per-request ``route``."""
+        result = self.route_many_detailed(requests)
+        result.raise_first()
+        return [path for path in result.paths if path is not None]
+
+    def route_many_detailed(
+        self, requests: Sequence[ServiceRequest]
+    ) -> "BatchRouteResult":
+        """Resolve a batch, capturing per-request outcomes.
+
+        The overlay's provider lists are scanned once per distinct service
+        for the whole batch instead of once per request slot; candidate
+        content and order match :meth:`candidates_for` exactly, so every
+        returned path is bit-identical to the per-request call.
+        """
+        from repro.routing.batch import BATCH_SIZE_BUCKETS, BatchRouteResult
+        from repro.util.errors import NoFeasiblePathError
+
+        requests = list(requests)
+        providers_memo: Dict[str, List[ProxyId]] = {}
+        paths: List[Optional[ServicePath]] = []
+        errors: List[Optional[NoFeasiblePathError]] = []
+        for request in requests:
+            sg = request.service_graph
+            candidates: Dict[int, List[ProxyId]] = {}
+            for slot in sg.slots():
+                service = sg.service_of(slot)
+                providers = providers_memo.get(service)
+                if providers is None:
+                    providers = self.overlay.providers_of(service)
+                    providers_memo[service] = providers
+                if self.candidate_filter is not None:
+                    candidates[slot] = [
+                        p for p in providers if self.candidate_filter(p)
+                    ]
+                else:
+                    candidates[slot] = list(providers)
+            try:
+                paths.append(self.route_with_candidates(request, candidates))
+                errors.append(None)
+            except NoFeasiblePathError as err:
+                paths.append(None)
+                errors.append(err)
+        registry = get_telemetry().registry
+        registry.counter("routing.batch.batches", router=self.name).inc()
+        registry.counter("routing.batch.requests", router=self.name).inc(
+            len(requests)
+        )
+        registry.histogram(
+            "routing.batch.size", buckets=BATCH_SIZE_BUCKETS, router=self.name
+        ).observe(len(requests))
+        return BatchRouteResult(paths=paths, errors=errors)
+
     def _materialise(
         self,
         request: ServiceRequest,
         assignment: Sequence[Tuple[int, ProxyId]],
     ) -> ServicePath:
         """Turn a slot→proxy assignment into a concrete path with relays."""
-        sg = request.service_graph
-        waypoints: List[Hop] = [Hop(proxy=request.source_proxy)]
-        for slot, proxy in assignment:
-            waypoints.append(Hop(proxy=proxy, service=sg.service_of(slot), slot=slot))
-        waypoints.append(Hop(proxy=request.destination_proxy))
+        return materialise_assignment(request, assignment, self.expander)
 
-        hops: List[Hop] = [waypoints[0]]
-        for prev, nxt in zip(waypoints, waypoints[1:]):
-            if self.expander is not None and prev.proxy != nxt.proxy:
-                relays = list(self.expander(prev.proxy, nxt.proxy))
-                if not relays or relays[0] != prev.proxy or relays[-1] != nxt.proxy:
-                    raise RoutingError(
-                        f"expander returned invalid relay chain for "
-                        f"({prev.proxy!r}, {nxt.proxy!r}): {relays!r}"
-                    )
-                for relay in relays[1:-1]:
-                    hops.append(Hop(proxy=relay))
-            hops.append(nxt)
-        return ServicePath(hops=tuple(_merge_consecutive(hops)))
+
+def materialise_assignment(
+    request: ServiceRequest,
+    assignment: Sequence[Tuple[int, ProxyId]],
+    expander: Optional[HopExpander] = None,
+) -> ServicePath:
+    """Turn a slot→proxy assignment into a concrete path with relays.
+
+    Module-level so pool workers can materialise child solutions without
+    carrying a router object across the process boundary.
+    """
+    sg = request.service_graph
+    waypoints: List[Hop] = [Hop(proxy=request.source_proxy)]
+    for slot, proxy in assignment:
+        waypoints.append(Hop(proxy=proxy, service=sg.service_of(slot), slot=slot))
+    waypoints.append(Hop(proxy=request.destination_proxy))
+
+    hops: List[Hop] = [waypoints[0]]
+    for prev, nxt in zip(waypoints, waypoints[1:]):
+        if expander is not None and prev.proxy != nxt.proxy:
+            relays = list(expander(prev.proxy, nxt.proxy))
+            if not relays or relays[0] != prev.proxy or relays[-1] != nxt.proxy:
+                raise RoutingError(
+                    f"expander returned invalid relay chain for "
+                    f"({prev.proxy!r}, {nxt.proxy!r}): {relays!r}"
+                )
+            for relay in relays[1:-1]:
+                hops.append(Hop(proxy=relay))
+        hops.append(nxt)
+    return ServicePath(hops=tuple(_merge_consecutive(hops)))
 
 
 def _merge_consecutive(hops: List[Hop]) -> List[Hop]:

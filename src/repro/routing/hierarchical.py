@@ -30,11 +30,25 @@ Three variants of step 2 are provided (`method=`):
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.overlay.hfc import HFCTopology
 from repro.overlay.network import ProxyId
+from repro.routing.batch import (
+    BATCH_SIZE_BUCKETS,
+    BatchRouteResult,
+    ChildOutcome,
+    ChildSpec,
+    ConquerContext,
+    query_tables,
+    service_graph_signature,
+    solve_specs,
+)
 from repro.routing.flat import FlatRouter, _merge_consecutive
 from repro.routing.path import Hop, ServicePath
 from repro.routing.providers import CoordinateProvider
@@ -43,6 +57,7 @@ from repro.services.graph import ServiceGraph, SlotId
 from repro.services.placement import aggregate_capability
 from repro.services.request import ServiceRequest
 from repro.telemetry import Telemetry, get_telemetry
+from repro.telemetry.tracing import WALL_SPAN_BUCKETS
 from repro.util.errors import NoFeasiblePathError, RoutingError
 
 ClusterId = int
@@ -50,6 +65,14 @@ ClusterId = int
 _Entry = Optional[ProxyId]
 
 METHODS = ("backtrack", "exact", "external")
+#: cluster-level relaxation engines for the label-setting methods
+CSP_ENGINES = ("vectorized", "reference")
+
+#: one prepared batch-CSP row: (job index, request, chain, candidate lists,
+#: source cluster, destination cluster)
+_CspChainRow = Tuple[
+    int, ServiceRequest, List[SlotId], List[List[ClusterId]], ClusterId, ClusterId
+]
 
 
 @dataclass(frozen=True)
@@ -106,6 +129,8 @@ class HierarchicalRouter:
     # them field-by-field around __init__) behave as feed-less
     capability_feed = None
     _feed_version: object = _UNSYNCED
+    csp_engine = "vectorized"
+    query_workers: Optional[int] = None
 
     def __init__(
         self,
@@ -116,6 +141,8 @@ class HierarchicalRouter:
         use_numpy: bool = True,
         telemetry: Optional[Telemetry] = None,
         capability_feed=None,
+        csp_engine: str = "vectorized",
+        query_workers: Optional[int] = None,
     ) -> None:
         """
         Args:
@@ -135,12 +162,28 @@ class HierarchicalRouter:
                 or :class:`repro.core.versioning.MutableCapabilityFeed`).
                 When bound, the router re-pulls the view whenever the feed
                 version moves — it supersedes *cluster_capabilities*.
+            csp_engine: cluster-level relaxation engine for the
+                label-setting methods: ``"vectorized"`` (one numpy pass per
+                slot over precomputed border tables, the default) or
+                ``"reference"`` (the original scalar loop). Both return
+                bit-identical cluster-level paths; the ``exact`` method has
+                a single implementation.
+            query_workers: default process-pool size for the conquer step
+                of :meth:`route_many` (None = in-process).
         """
         if method not in METHODS:
             raise RoutingError(f"method must be one of {METHODS}, got {method!r}")
+        if csp_engine not in CSP_ENGINES:
+            raise RoutingError(
+                f"csp_engine must be one of {CSP_ENGINES}, got {csp_engine!r}"
+            )
+        if query_workers is not None and query_workers < 1:
+            raise RoutingError("query_workers must be >= 1 or None")
         self.hfc = hfc
         self.method = method
         self.use_numpy = use_numpy
+        self.csp_engine = csp_engine
+        self.query_workers = query_workers
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.capability_feed = capability_feed
         self._feed_version: object = self._UNSYNCED
@@ -178,6 +221,15 @@ class HierarchicalRouter:
     def _capabilities_changed(self) -> None:
         """Hook: the capability view was replaced (subclasses drop caches)."""
 
+    # -- CSP cache hooks (no-ops here; the cached subclass persists CSPs) -------
+
+    def _csp_cache_get(self, key: Hashable) -> Optional["ClusterServicePath"]:
+        """Look up a CSP by its identity key; None on a miss."""
+        return None
+
+    def _csp_cache_put(self, key: Hashable, csp: "ClusterServicePath") -> None:
+        """Store a computed CSP under its identity key."""
+
     # -- public API -----------------------------------------------------------
 
     def route(self, request: ServiceRequest) -> ServicePath:
@@ -211,6 +263,404 @@ class HierarchicalRouter:
         return HierarchicalResult(
             path=path, csp=csp, child_requests=children, child_paths=child_paths
         )
+
+    # -- batched resolution -----------------------------------------------------
+
+    def route_many(
+        self,
+        requests: Sequence[ServiceRequest],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[ServicePath]:
+        """Resolve a batch of requests through the shared-precompute engine.
+
+        Returns one path per request, in order; raises the first
+        :class:`NoFeasiblePathError` (in request order) with the same type
+        and message the per-request :meth:`route` call produces. Paths are
+        bit-identical to routing each request individually.
+        """
+        result = self.route_many_detailed(requests, workers=workers)
+        result.raise_first()
+        return [path for path in result.paths if path is not None]
+
+    def route_many_detailed(
+        self,
+        requests: Sequence[ServiceRequest],
+        *,
+        workers: Optional[int] = None,
+    ) -> BatchRouteResult:
+        """Resolve a batch, capturing per-request outcomes.
+
+        The batch shares everything that does not depend on the individual
+        request: one capability sync, the cluster-level border tables, a
+        per-(service-graph shape, source-cluster, destination) CSP memo on
+        top of whatever version-driven cache a subclass maintains, and a
+        per-(cluster, service) candidate index for the conquer step. The
+        independent child solves can fan out over a process pool
+        (*workers*, defaulting to ``query_workers``), mirroring
+        ``embedding_workers``; pooling is result-invariant.
+
+        Subclasses that override :meth:`solve_child` (e.g. the three-level
+        router) conquer through their own hook, per child, in-process.
+        """
+        requests = list(requests)
+        tracer = self.telemetry.tracer
+        registry = self.telemetry.registry
+        if workers is None:
+            workers = self.query_workers
+        started = time.perf_counter()
+        count = len(requests)
+        csps: List[Optional[ClusterServicePath]] = [None] * count
+        errors: List[Optional[NoFeasiblePathError]] = [None] * count
+        children_of: List[Optional[List[ChildRequest]]] = [None] * count
+        paths: List[Optional[ServicePath]] = [None] * count
+        with tracer.span("route.batch", router="hierarchical", requests=count):
+            with tracer.span("route.batch.precompute"):
+                precompute_started = time.perf_counter()
+                self.refresh_capabilities()
+                if self.csp_engine == "vectorized" and self.method != "exact":
+                    query_tables(self.hfc)
+                context = ConquerContext(self.hfc)
+                precompute_seconds = time.perf_counter() - precompute_started
+
+            # map + cluster-level shortest paths, memoized per CSP identity
+            csp_memo: Dict[Hashable, Tuple[str, object]] = {}
+            chain_engine = self.csp_engine == "vectorized" and self.method != "exact"
+            service_clusters: Dict[ServiceName, List[ClusterId]] = {}
+            pending: Dict[Hashable, Tuple[ServiceRequest, List[int]]] = {}
+            with tracer.span("route.batch.csp"):
+                for idx, request in enumerate(requests):
+                    key = (
+                        service_graph_signature(request.service_graph),
+                        self.hfc.cluster_of(request.source_proxy),
+                        request.destination_proxy,
+                    )
+                    hit = csp_memo.get(key)
+                    if hit is not None:
+                        kind, value = hit
+                        if kind == "ok":
+                            csps[idx] = value  # type: ignore[assignment]
+                        else:
+                            # replay the memoized infeasibility verbatim
+                            error = value  # type: ignore[assignment]
+                            errors[idx] = type(error)(*error.args)
+                        continue
+                    job = pending.get(key)
+                    if job is not None:
+                        job[1].append(idx)
+                        continue
+                    if not (chain_engine and request.service_graph.is_linear):
+                        # exact method, reference engine, or a non-chain SG:
+                        # resolve per request (subclass caches included)
+                        try:
+                            csp = self.cluster_level_path(request)
+                        except NoFeasiblePathError as err:
+                            csp_memo[key] = ("err", err)
+                            errors[idx] = err
+                        else:
+                            csp_memo[key] = ("ok", csp)
+                            csps[idx] = csp
+                        continue
+                    cached = self._csp_cache_get(key)
+                    if cached is not None:
+                        csp_memo[key] = ("ok", cached)
+                        csps[idx] = cached
+                        continue
+                    pending[key] = (request, [idx])
+                if pending:
+                    jobs = list(pending.items())
+                    solved = self._solve_csp_chains(
+                        [(key, job[0]) for key, job in jobs], service_clusters
+                    )
+                    for (key, (_, indices)), (kind, value) in zip(jobs, solved):
+                        csp_memo[key] = (kind, value)
+                        if kind == "ok":
+                            self._csp_cache_put(key, value)
+                            for idx in indices:
+                                csps[idx] = value
+                        else:
+                            for pos, idx in enumerate(indices):
+                                errors[idx] = (
+                                    value if pos == 0 else type(value)(*value.args)
+                                )
+
+            with tracer.span("route.batch.dissect"):
+                for idx, request in enumerate(requests):
+                    csp = csps[idx]
+                    if csp is not None:
+                        children_of[idx] = self.dissect(request, csp)
+
+            # conquer: flatten every child across the batch, solve, regroup
+            outcomes_of: Dict[int, List[ChildOutcome]] = {}
+            custom_conquer = (
+                type(self).solve_child is not HierarchicalRouter.solve_child
+            )
+            with tracer.span("route.batch.conquer", workers=workers or 1):
+                if custom_conquer:
+                    for idx, request in enumerate(requests):
+                        children = children_of[idx]
+                        if children is None:
+                            continue
+                        outcomes: List[ChildOutcome] = []
+                        for child in children:
+                            try:
+                                outcomes.append(
+                                    ("ok", self.solve_child(request, child))
+                                )
+                            except NoFeasiblePathError as err:
+                                outcomes.append(("err", err))
+                                break
+                        outcomes_of[idx] = outcomes
+                else:
+                    specs: List[ChildSpec] = []
+                    owners: List[int] = []
+                    for idx, request in enumerate(requests):
+                        children = children_of[idx]
+                        if children is None:
+                            continue
+                        outcomes_of[idx] = []
+                        for child in children:
+                            specs.append(context.spec_for(child))
+                            owners.append(idx)
+                    solved = solve_specs(
+                        specs,
+                        self._provider,
+                        self.use_numpy,
+                        workers=workers or 1,
+                        space=self.hfc.space
+                        if isinstance(self._provider, CoordinateProvider)
+                        else None,
+                    )
+                    for owner, outcome in zip(owners, solved):
+                        outcomes_of[owner].append(outcome)
+
+            with tracer.span("route.batch.compose"):
+                for idx, request in enumerate(requests):
+                    outcomes = outcomes_of.get(idx)
+                    if outcomes is None:
+                        continue
+                    failure = next(
+                        (value for kind, value in outcomes if kind == "err"), None
+                    )
+                    if failure is not None:
+                        # pool outcomes carry error args (picklable); the
+                        # custom-conquer path keeps the original instance
+                        errors[idx] = (
+                            failure
+                            if isinstance(failure, NoFeasiblePathError)
+                            else NoFeasiblePathError(*failure)
+                        )
+                        continue
+                    paths[idx] = self.compose(
+                        request, [path for _, path in outcomes]
+                    )
+
+        ok = sum(1 for path in paths if path is not None)
+        registry.counter("routing.batch.batches", router="hierarchical").inc()
+        registry.counter("routing.batch.requests", router="hierarchical").inc(count)
+        registry.histogram(
+            "routing.batch.size", buckets=BATCH_SIZE_BUCKETS, router="hierarchical"
+        ).observe(count)
+        registry.gauge(
+            "routing.batch.precompute_seconds", router="hierarchical"
+        ).set(precompute_seconds)
+        if count:
+            registry.histogram(
+                "routing.batch.request_seconds",
+                buckets=WALL_SPAN_BUCKETS,
+                router="hierarchical",
+            ).observe((time.perf_counter() - started) / count)
+        if ok:
+            registry.counter(
+                "routing.requests", router="hierarchical", outcome="ok"
+            ).inc(ok)
+        if count - ok:
+            registry.counter(
+                "routing.requests", router="hierarchical", outcome="infeasible"
+            ).inc(count - ok)
+        return BatchRouteResult(paths=paths, errors=errors)
+
+    # -- batched cluster-level relaxation ---------------------------------------
+
+    def _solve_csp_chains(
+        self,
+        jobs: Sequence[Tuple[Hashable, ServiceRequest]],
+        service_clusters: Dict[ServiceName, List[ClusterId]],
+    ) -> List[Tuple[str, object]]:
+        """Cluster-level paths for a batch of linear requests, bucketed by
+        chain length and relaxed in padded numpy passes.
+
+        *jobs* carries ``(key, request)`` pairs where ``key[1]`` is the
+        source cluster. Returns one ``("ok", ClusterServicePath)`` or
+        ``("err", NoFeasiblePathError)`` per job, with exactly the CSPs and
+        errors :meth:`cluster_level_path` produces per request.
+        """
+        hfc = self.hfc
+        with_internal = self.method == "backtrack"
+        tables = query_tables(hfc)
+        caps = self.cluster_capabilities
+        cluster_range = range(hfc.cluster_count)
+        results: List[Optional[Tuple[str, object]]] = [None] * len(jobs)
+        prepared: List[_CspChainRow] = []
+        buckets: Dict[int, List[int]] = {}
+        for j, (key, request) in enumerate(jobs):
+            sg = request.service_graph
+            cand_by_slot: Dict[SlotId, List[ClusterId]] = {}
+            for slot in sg.slots():
+                service = sg.service_of(slot)
+                cands = service_clusters.get(service)
+                if cands is None:
+                    cands = [
+                        cid
+                        for cid in cluster_range
+                        if service in caps.get(cid, frozenset())
+                    ]
+                    service_clusters[service] = cands
+                cand_by_slot[slot] = cands
+            if any(not cand_by_slot[s] for s in sg.slots()):
+                missing = [
+                    sg.service_of(s) for s in sg.slots() if not cand_by_slot[s]
+                ]
+                results[j] = (
+                    "err",
+                    NoFeasiblePathError(
+                        f"services unavailable in every cluster: {missing}"
+                    ),
+                )
+                continue
+            chain = sg.topological_order()
+            prepared.append(
+                (
+                    j,
+                    request,
+                    chain,
+                    [cand_by_slot[s] for s in chain],
+                    key[1],  # type: ignore[index]
+                    hfc.cluster_of(request.destination_proxy),
+                )
+            )
+            buckets.setdefault(len(chain), []).append(len(prepared) - 1)
+        for length, rows in buckets.items():
+            self._solve_csp_chain_bucket(
+                prepared, rows, length, tables, with_internal, results
+            )
+        return results  # type: ignore[return-value]
+
+    def _solve_csp_chain_bucket(
+        self,
+        prepared: Sequence[_CspChainRow],
+        rows: List[int],
+        length: int,
+        tables,
+        with_internal: bool,
+        results: List[Optional[Tuple[str, object]]],
+    ) -> None:
+        """One padded relaxation pass per chain position for a length bucket.
+
+        Equivalence with the scalar reference rests on the same three facts
+        as :meth:`_solve_label_vectorized` — shared scalar-sourced tables,
+        preserved ``(dist + ext) + internal`` association, first-occurrence
+        ``argmin`` matching strict-``<`` updates in candidate order — plus
+        one batching fact: padding lanes sit after the real candidates and
+        carry ``inf`` labels, so they never steal an argmin tie.
+        """
+        ext = tables.ext
+        border_row = tables.border_row
+        border_list = tables.border_list
+        d_border = tables.d_border
+        nb = len(border_list)
+        count = len(rows)
+        width = max(len(cl) for row in rows for cl in prepared[row][3])
+        cand = np.zeros((count, length, width), dtype=np.int64)
+        vmask = np.zeros((count, length, width), dtype=bool)
+        cs_arr = np.empty(count, dtype=np.int64)
+        for b, row in enumerate(rows):
+            _, _, _, cand_lists, cs, _ = prepared[row]
+            cs_arr[b] = cs
+            for t, cl in enumerate(cand_lists):
+                m = len(cl)
+                cand[b, t, :m] = cl
+                vmask[b, t, :m] = True
+
+        # source-slot labels straight from the tables (same floats _start
+        # reads back out of external_estimate/border)
+        k0 = cand[:, 0]
+        at_home = k0 == cs_arr[:, None]
+        labels = np.where(at_home, 0.0, ext[cs_arr[:, None], k0])
+        entry = np.where(at_home, -1, border_row[k0, cs_arr[:, None]])
+        labels = np.where(vmask[:, 0], labels, np.inf)
+        parents: List[np.ndarray] = []
+        for t in range(1, length):
+            kp = cand[:, t - 1]
+            kc = cand[:, t]
+            same = kp[:, :, None] == kc[:, None, :]
+            costs = labels[:, :, None] + ext[kp[:, :, None], kc[:, None, :]]
+            if with_internal and nb:
+                # back-tracking, batched: entry border of each label to the
+                # exit border toward the candidate cluster
+                exit_codes = border_row[kp[:, :, None], kc[:, None, :]]
+                safe_entry = np.where(entry < 0, 0, entry)
+                segments = d_border[
+                    safe_entry[:, :, None],
+                    np.where(exit_codes < 0, 0, exit_codes),
+                ]
+                costs = costs + np.where(
+                    (entry[:, :, None] < 0) | (entry[:, :, None] == exit_codes),
+                    0.0,
+                    segments,
+                )
+            costs = np.where(same, labels[:, :, None], costs)
+            entries = np.where(
+                same, entry[:, :, None], border_row[kc[:, None, :], kp[:, :, None]]
+            )
+            win = np.argmin(costs, axis=1)
+            gather = win[:, None, :]
+            labels = np.take_along_axis(costs, gather, axis=1)[:, 0, :]
+            entry = np.take_along_axis(entries, gather, axis=1)[:, 0, :]
+            labels = np.where(vmask[:, t], labels, np.inf)
+            parents.append(win)
+
+        # scalar sink scan (exact per-destination distances) + backtrack
+        for b, row in enumerate(rows):
+            job_index, request, chain, cand_lists, cs, cd = prepared[row]
+            pd = request.destination_proxy
+            last = cand_lists[length - 1]
+            best_j = -1
+            best_total = float("inf")
+            for j, ci in enumerate(last):
+                cost = labels[b, j]
+                if not math.isfinite(cost):
+                    continue
+                code = int(entry[b, j])
+                ent = None if code < 0 else border_list[code]
+                total = cost + self._tail(ci, ent, cd, pd, with_internal)
+                if total < best_total:
+                    best_total = total
+                    best_j = j
+            if best_j < 0 or best_total == float("inf"):
+                results[job_index] = (
+                    "err",
+                    NoFeasiblePathError(
+                        "no cluster-level configuration satisfies the request"
+                    ),
+                )
+                continue
+            assignment: List[Tuple[SlotId, ClusterId]] = []
+            j = best_j
+            for t in range(length - 1, 0, -1):
+                assignment.append((chain[t], cand_lists[t][j]))
+                j = int(parents[t - 1][b, j])
+            assignment.append((chain[0], cand_lists[0][j]))
+            assignment.reverse()
+            results[job_index] = (
+                "ok",
+                ClusterServicePath(
+                    assignment=tuple(assignment),
+                    source_cluster=cs,
+                    destination_cluster=cd,
+                    estimated_cost=float(best_total),
+                ),
+            )
 
     # -- step 1+2: cluster-level service DAG -----------------------------------
 
@@ -246,8 +696,12 @@ class HierarchicalRouter:
             )
         if self.method == "exact":
             cost, assignment = self._solve_exact(request, sg, candidates, cs, cd)
+        elif self.csp_engine == "reference":
+            cost, assignment = self._solve_label_reference(
+                request, sg, candidates, cs, cd, with_internal=self.method == "backtrack"
+            )
         else:
-            cost, assignment = self._solve_label(
+            cost, assignment = self._solve_label_vectorized(
                 request, sg, candidates, cs, cd, with_internal=self.method == "backtrack"
             )
         return ClusterServicePath(
@@ -298,7 +752,7 @@ class HierarchicalRouter:
 
     # label-setting with optional back-tracking --------------------------------
 
-    def _solve_label(
+    def _solve_label_reference(
         self,
         request: ServiceRequest,
         sg: ServiceGraph,
@@ -370,6 +824,163 @@ class HierarchicalRouter:
         assignment.reverse()
         return best_total, assignment
 
+    # vectorized relaxation over precomputed border tables -----------------------
+
+    def _solve_label_vectorized(
+        self,
+        request: ServiceRequest,
+        sg: ServiceGraph,
+        candidates: Dict[SlotId, List[ClusterId]],
+        cs: ClusterId,
+        cd: ClusterId,
+        *,
+        with_internal: bool,
+    ) -> Tuple[float, List[Tuple[SlotId, ClusterId]]]:
+        """One numpy pass per slot; bit-identical to the reference loop.
+
+        Per slot, all (predecessor-label × candidate-cluster) relaxations
+        evaluate at once against the precomputed tables of
+        :func:`~repro.routing.batch.query_tables`. Bit-equality holds
+        because (a) the tables are filled by the same scalar calls the
+        reference makes, (b) the float additions keep the reference's
+        association order ``(dist + ext) + internal``, and (c)
+        ``np.argmin``'s first-occurrence tie-break equals the reference's
+        strict-``<`` update over the same (predecessor, candidate)
+        iteration order, with the start label compared first. Missing
+        labels are carried as ``inf`` (the reference simply leaves them out
+        of its dict): an all-``inf`` column stays unlabeled, and a finite
+        winner can never be preceded by an ``inf`` entry in argmin order.
+        """
+        hfc = self.hfc
+        tables = query_tables(hfc)
+        ext = tables.ext
+        border_row = tables.border_row
+        border_list = tables.border_list
+        code_of = tables.border_code
+        d_border = tables.d_border
+        nb = len(border_list)
+
+        # per finalized slot: candidates, label costs (inf = unlabeled),
+        # entry-border codes (-1 = None), parent pointers (slot, index)
+        info: Dict[
+            SlotId,
+            Tuple[List[ClusterId], np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        ] = {}
+        source_slots = set(sg.source_slots())
+        for slot in sg.topological_order():
+            cand = candidates[slot]
+            n = len(cand)
+            if n == 0:
+                info[slot] = (
+                    cand,
+                    np.empty(0, dtype=float),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                )
+                continue
+            cand_arr = np.asarray(cand, dtype=np.int64)
+            if slot in source_slots:
+                init_cost = np.empty(n, dtype=float)
+                init_ent = np.empty(n, dtype=np.int64)
+                for j, cj in enumerate(cand):
+                    cost, ent = self._start(cj, cs, with_internal)
+                    init_cost[j] = cost
+                    init_ent[j] = -1 if ent is None else code_of[ent]
+            else:
+                init_cost = np.full(n, np.inf)
+                init_ent = np.full(n, -1, dtype=np.int64)
+
+            pred_cluster: List[np.ndarray] = []
+            pred_cost: List[np.ndarray] = []
+            pred_entry: List[np.ndarray] = []
+            pred_slot: List[np.ndarray] = []
+            pred_index: List[np.ndarray] = []
+            for pred in sg.predecessors(slot):
+                pcand, pdist, pent, _, _ = info[pred]
+                m = len(pcand)
+                if m == 0:
+                    continue
+                pred_cluster.append(np.asarray(pcand, dtype=np.int64))
+                pred_cost.append(pdist)
+                pred_entry.append(pent)
+                pred_slot.append(np.full(m, pred, dtype=np.int64))
+                pred_index.append(np.arange(m, dtype=np.int64))
+
+            if pred_cluster:
+                ci_arr = np.concatenate(pred_cluster)
+                d_arr = np.concatenate(pred_cost)
+                e_arr = np.concatenate(pred_entry)
+                ps_arr = np.concatenate(pred_slot)
+                pi_arr = np.concatenate(pred_index)
+
+                same = ci_arr[:, None] == cand_arr[None, :]
+                cost_diff = d_arr[:, None] + ext[ci_arr[:, None], cand_arr[None, :]]
+                if with_internal and nb:
+                    # the back-tracking step, batched: from the border each
+                    # label entered through to the exit border toward cj
+                    exit_codes = border_row[ci_arr[:, None], cand_arr[None, :]]
+                    safe_entry = np.where(e_arr < 0, 0, e_arr)
+                    segments = d_border[safe_entry[:, None], exit_codes]
+                    cost_diff = cost_diff + np.where(
+                        (e_arr[:, None] < 0) | (e_arr[:, None] == exit_codes),
+                        0.0,
+                        segments,
+                    )
+                costs = np.where(same, d_arr[:, None], cost_diff)
+                entries = np.where(
+                    same, e_arr[:, None], border_row[cand_arr[None, :], ci_arr[:, None]]
+                )
+                combined = np.vstack([init_cost[None, :], costs])
+                win = np.argmin(combined, axis=0)
+                cols = np.arange(n)
+                dist_arr = combined[win, cols]
+                relaxed = win > 0
+                row = np.where(relaxed, win - 1, 0)
+                ent_arr = np.where(relaxed, entries[row, cols], init_ent)
+                pslot_arr = np.where(relaxed, ps_arr[row], -1)
+                pidx_arr = np.where(relaxed, pi_arr[row], -1)
+            else:
+                dist_arr = init_cost
+                ent_arr = init_ent
+                pslot_arr = np.full(n, -1, dtype=np.int64)
+                pidx_arr = np.full(n, -1, dtype=np.int64)
+            info[slot] = (cand, dist_arr, ent_arr, pslot_arr, pidx_arr)
+
+        # the sink scan stays scalar: it needs exact per-destination
+        # distances the tables deliberately do not hold
+        best_key: Optional[Tuple[SlotId, int]] = None
+        best_total = float("inf")
+        for slot in sg.sink_slots():
+            cand, dist_arr, ent_arr, _, _ = info[slot]
+            for j, ci in enumerate(cand):
+                cost = dist_arr[j]
+                if not math.isfinite(cost):
+                    continue
+                code = int(ent_arr[j])
+                ent = None if code < 0 else border_list[code]
+                total = cost + self._tail(
+                    ci, ent, cd, request.destination_proxy, with_internal
+                )
+                if total < best_total:
+                    best_total = total
+                    best_key = (slot, j)
+        if best_key is None or best_total == float("inf"):
+            raise NoFeasiblePathError(
+                "no cluster-level configuration satisfies the request"
+            )
+        assignment: List[Tuple[SlotId, ClusterId]] = []
+        slot, j = best_key
+        while True:
+            cand, _, _, pslot_arr, pidx_arr = info[slot]
+            assignment.append((slot, cand[j]))
+            parent_slot = int(pslot_arr[j])
+            if parent_slot < 0:
+                break
+            slot, j = parent_slot, int(pidx_arr[j])
+        assignment.reverse()
+        return float(best_total), assignment
+
     # exact DP over (slot, cluster, entry border) -------------------------------
 
     def _solve_exact(
@@ -384,21 +995,29 @@ class HierarchicalRouter:
         State = Tuple[SlotId, ClusterId, _Entry]
         dist: Dict[State, float] = {}
         parent: Dict[State, Optional[State]] = {}
+        # (slot, cluster) -> its states in first-insertion order: replaces
+        # the O(|states|) full-dict scan per (pred, ci) pair; the list order
+        # equals the dict-comprehension order the scan produced, so
+        # tie-breaking is unchanged
+        states_by: Dict[Tuple[SlotId, ClusterId], List[State]] = {}
+
+        def _relax(state: State, cost: float, origin: Optional[State]) -> None:
+            known = state in dist
+            if not known or cost < dist[state]:
+                if not known:
+                    states_by.setdefault((state[0], state[1]), []).append(state)
+                dist[state] = cost
+                parent[state] = origin
 
         source_slots = set(sg.source_slots())
         for slot in sg.topological_order():
             for cj in candidates[slot]:
                 if slot in source_slots:
                     cost, ent = self._start(cj, cs, True)
-                    state = (slot, cj, ent)
-                    if state not in dist or cost < dist[state]:
-                        dist[state] = cost
-                        parent[state] = None
+                    _relax((slot, cj, ent), cost, None)
                 for pred in sg.predecessors(slot):
                     for ci in candidates[pred]:
-                        for pstate in [
-                            s for s in dist if s[0] == pred and s[1] == ci
-                        ]:
+                        for pstate in tuple(states_by.get((pred, ci), ())):
                             _, _, ent_i = pstate
                             if ci == cj:
                                 cost = dist[pstate]
@@ -410,9 +1029,7 @@ class HierarchicalRouter:
                                     + hfc.external_estimate(ci, cj)
                                 )
                                 state = (slot, cj, hfc.border(cj, ci))
-                            if state not in dist or cost < dist[state]:
-                                dist[state] = cost
-                                parent[state] = pstate
+                            _relax(state, cost, pstate)
 
         best_state: Optional[State] = None
         best_total = float("inf")

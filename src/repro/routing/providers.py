@@ -15,13 +15,53 @@ rectangular blocks.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Sequence
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.coords.space import CoordinateSpace
 from repro.overlay.network import OverlayNetwork, ProxyId
 from repro.util.errors import RoutingError
+
+
+class _BlockMemo:
+    """A small LRU cache of dense distance blocks.
+
+    Query workloads ask for the same blocks over and over (every child
+    request inside a cluster shares the same per-service candidate lists),
+    so rebuilding the arrays per call dominates the solver itself. The memo
+    is guarded by a *token*: when the underlying data object is replaced
+    (a new coordinate space, a rebuilt delay matrix), the token no longer
+    matches and the memo drops itself. Cached blocks are shared — callers
+    must treat them as read-only, which every solver in the repo does (the
+    vectorised DAG solver only ever reads blocks).
+    """
+
+    __slots__ = ("capacity", "_token", "_blocks")
+
+    def __init__(self, capacity: int = 512) -> None:
+        self.capacity = capacity
+        self._token: object = None
+        self._blocks: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+
+    def lookup(self, token: object, key: Tuple) -> Optional[np.ndarray]:
+        if token is not self._token:
+            self._token = token
+            self._blocks.clear()
+            return None
+        block = self._blocks.get(key)
+        if block is not None:
+            self._blocks.move_to_end(key)
+        return block
+
+    def store(self, key: Tuple, block: np.ndarray) -> None:
+        self._blocks[key] = block
+        if len(self._blocks) > self.capacity:
+            self._blocks.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
 
 
 class DistanceProvider(ABC):
@@ -37,35 +77,69 @@ class DistanceProvider(ABC):
 
 
 class CoordinateProvider(DistanceProvider):
-    """Geometric distances in a coordinate space (estimate-based routing)."""
+    """Geometric distances in a coordinate space (estimate-based routing).
 
-    def __init__(self, space: CoordinateSpace) -> None:
+    Dense blocks are memoized per (us, vs) pair, keyed on the (immutable)
+    space object identity — repeat queries for the same candidate lists
+    reuse the array instead of re-stacking and re-reducing coordinates.
+    ``memoize=False`` restores the always-rebuild behaviour (used by the
+    benchmark's scalar baseline).
+    """
+
+    def __init__(self, space: CoordinateSpace, *, memoize: bool = True) -> None:
         self.space = space
+        self._memo = _BlockMemo() if memoize else None
 
     def pair(self, u: ProxyId, v: ProxyId) -> float:
         return self.space.distance(u, v)
 
     def block(self, us: Sequence[ProxyId], vs: Sequence[ProxyId]) -> np.ndarray:
+        memo = self._memo
+        if memo is not None:
+            key = (tuple(us), tuple(vs))
+            cached = memo.lookup(self.space, key)
+            if cached is not None:
+                return cached
         pts_u = self.space.array(us)
         pts_v = self.space.array(vs)
         diff = pts_u[:, None, :] - pts_v[None, :, :]
-        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        block = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        if memo is not None:
+            memo.store(key, block)
+        return block
 
 
 class TrueDelayProvider(DistanceProvider):
-    """Ground-truth physical delays (an oracle router for bounds/tests)."""
+    """Ground-truth physical delays (an oracle router for bounds/tests).
 
-    def __init__(self, overlay: OverlayNetwork) -> None:
+    The overlay's delay matrix is already cached by the overlay itself;
+    what used to be rebuilt per call are the proxy→row index lists and the
+    gathered block. Both are memoized here, guarded by the identity of the
+    matrix object so an overlay that re-materialises its matrix drops the
+    memo automatically.
+    """
+
+    def __init__(self, overlay: OverlayNetwork, *, memoize: bool = True) -> None:
         self.overlay = overlay
+        self._memo = _BlockMemo() if memoize else None
 
     def pair(self, u: ProxyId, v: ProxyId) -> float:
         return self.overlay.true_delay(u, v)
 
     def block(self, us: Sequence[ProxyId], vs: Sequence[ProxyId]) -> np.ndarray:
         matrix = self.overlay.true_delay_matrix()
+        memo = self._memo
+        if memo is not None:
+            key = (tuple(us), tuple(vs))
+            cached = memo.lookup(matrix, key)
+            if cached is not None:
+                return cached
         ui = [self.overlay.index_of(u) for u in us]
         vi = [self.overlay.index_of(v) for v in vs]
-        return matrix[np.ix_(ui, vi)]
+        block = matrix[np.ix_(ui, vi)]
+        if memo is not None:
+            memo.store(key, block)
+        return block
 
 
 class MatrixProvider(DistanceProvider):
