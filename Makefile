@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-query examples clean lint bench-smoke ci
+.PHONY: install test bench bench-full bench-query examples clean lint bench-smoke fault-matrix ci
 
 install:
 	$(PYTHON) setup.py develop
@@ -45,17 +45,27 @@ bench-smoke:
 	cp BENCH_construction.json /tmp/bench_baseline.json
 	cp BENCH_churn.json /tmp/churn_baseline.json
 	cp BENCH_query.json /tmp/query_baseline.json
+	cp BENCH_resilience.json /tmp/resilience_baseline.json
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_construction.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_churn.py::test_incremental_churn_speedup --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_query.py --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_resilience.py::test_fault_matrix_recovery --benchmark-only -q
 	$(PYTHON) scripts/check_bench_regression.py /tmp/bench_baseline.json BENCH_construction.json --tolerance 0.25
 	$(PYTHON) scripts/check_bench_regression.py /tmp/churn_baseline.json BENCH_churn.json --tolerance 0.25 --metric maintenance --metric state_bytes
 	$(PYTHON) scripts/check_bench_regression.py /tmp/query_baseline.json BENCH_query.json --tolerance 0.25 --metric batch_throughput --metric single_query
+	$(PYTHON) scripts/check_bench_regression.py /tmp/resilience_baseline.json BENCH_resilience.json --tolerance 0.25 --metric delivery_recovery --metric reconverge_margin
 
-# Mirror the full CI workflow locally: tier-1 tests, lint, bench smoke + gate.
+# The CI fault-matrix smoke job: three seeded fault plans (loss burst,
+# partition heal, crash/restart) at small n under the convergence auditor.
+fault-matrix:
+	PYTHONPATH=src $(PYTHON) scripts/run_fault_matrix.py --audit-dir benchmarks/out
+
+# Mirror the full CI workflow locally: tier-1 tests, lint, fault matrix,
+# bench smoke + gate.
 ci:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(MAKE) lint
+	$(MAKE) fault-matrix
 	$(MAKE) bench-smoke
 
 clean:

@@ -1,10 +1,68 @@
-"""Extension bench E4 — failure resilience of streaming sessions.
+"""Extension bench E4 — failure resilience of streaming sessions & protocol.
 
-One mid-path service proxy fails per session; delivery rate is compared
-with and without watchdog-triggered hierarchical re-routing.
+Two resilience benches:
+
+* ``test_resilience_recovery_value`` — the original E4 study: one
+  mid-path service proxy fails per session; delivery rate is compared
+  with and without watchdog-triggered hierarchical re-routing.
+* ``test_fault_matrix_recovery`` — the fault-injection acceptance bench.
+  Every plan in :func:`repro.faults.standard_fault_matrix` (30% loss
+  burst, cluster partition that heals, border-proxy crash/restart with
+  state wipe, reorder+duplicate) runs under the convergence auditor,
+  which must pass all checks with reconvergence inside the K-period
+  budget.
+
+Results land in ``BENCH_resilience.json`` at the repo root, keyed by
+scale; both gated metrics are deterministic dimensionless ratios, so CI
+runs compare like for like across hardware:
+
+* ``delivery_recovery`` — reroute delivery rate / no-recovery delivery
+  rate (how much the data plane's recovery machinery is worth);
+* ``reconverge_margin`` — the auditor's K-period reconvergence budget
+  divided by the worst observed reconvergence time across the fault
+  matrix (floored at one check interval); a drop means some fault now
+  takes longer to recover from.
+
+``scripts/check_bench_regression.py --metric delivery_recovery --metric
+reconverge_margin`` gates both at 25% tolerance.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import HFCFramework
+from repro.experiments import ascii_table
 from repro.experiments.resilience import render_resilience, run_resilience_experiment
+from repro.faults import run_fault_scenario, standard_fault_matrix
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_resilience.json"
+AUDIT_CHECK_INTERVAL = 250.0
+K_PERIODS = 3
+
+
+def _workload():
+    """(scale, proxies, sessions) for the current scale."""
+    full = os.environ.get("REPRO_SCALE", "small").strip().lower()
+    if full in ("full", "1", "1.0"):
+        return "full", 200, 16
+    return "small", 48, 8
+
+
+def _merge_result(scale, entry):
+    """Rewrite BENCH_resilience.json, preserving the other scales' entries."""
+    existing = {}
+    if RESULT_PATH.exists():
+        existing = json.loads(RESULT_PATH.read_text()).get("entries", {})
+    existing[scale] = entry
+    snapshot = {
+        "bench": "resilience",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "entries": existing,
+    }
+    RESULT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
 
 
 def test_resilience_recovery_value(benchmark, emit):
@@ -19,3 +77,94 @@ def test_resilience_recovery_value(benchmark, emit):
         by_policy["reroute"].delivery_rate.mean
         >= by_policy["no recovery"].delivery_rate.mean
     )
+
+
+def test_fault_matrix_recovery(benchmark, emit):
+    scale, proxy_count, sessions = _workload()
+
+    def run():
+        framework = HFCFramework.build(proxy_count=proxy_count, seed=3)
+        matrix = {
+            name: run_fault_scenario(
+                framework,
+                plan,
+                k_periods=K_PERIODS,
+                check_interval=AUDIT_CHECK_INTERVAL,
+            )
+            for name, plan in standard_fault_matrix(framework.hfc).items()
+        }
+        rows = run_resilience_experiment(
+            proxy_count=proxy_count, sessions=sessions, seed=701
+        )
+        return matrix, rows
+
+    matrix, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    by_policy = {r.policy: r for r in rows}
+    delivery_recovery = (
+        by_policy["reroute"].delivery_rate.mean
+        / by_policy["no recovery"].delivery_rate.mean
+    )
+    budget = next(iter(matrix.values())).deadline - next(
+        iter(matrix.values())
+    ).horizon
+    worst_recovery = max(
+        max(result.recovery_time or 0.0, AUDIT_CHECK_INTERVAL)
+        for result in matrix.values()
+    )
+    reconverge_margin = budget / worst_recovery
+
+    table_rows = [
+        [
+            name,
+            f"{result.recovery_time:.0f}" if result.recovery_time is not None else "-",
+            f"{sum(c.passed for c in result.checks)}/{len(result.checks)}",
+            result.counters.get("faults.dropped.loss", 0)
+            + result.counters.get("faults.dropped.partition", 0)
+            + result.counters.get("faults.dropped.crash_sender", 0)
+            + result.counters.get("faults.dropped.crash_recipient", 0),
+            result.counters.get("faults.duplicated", 0),
+        ]
+        for name, result in matrix.items()
+    ]
+    emit(
+        "fault_matrix",
+        f"Fault matrix under the convergence auditor — n={proxy_count}, "
+        f"K={K_PERIODS} refresh periods (budget {budget:.0f})\n"
+        + ascii_table(
+            ["plan", "recovery time", "checks", "dropped", "duplicated"],
+            table_rows,
+        ),
+    )
+
+    entry = {
+        "proxies": proxy_count,
+        "sessions": sessions,
+        "k_periods": K_PERIODS,
+        "budget": budget,
+        "worst_recovery": worst_recovery,
+        "delivery_no_recovery": round(
+            by_policy["no recovery"].delivery_rate.mean, 4
+        ),
+        "delivery_reroute": round(by_policy["reroute"].delivery_rate.mean, 4),
+        "plans": {
+            name: {
+                "passed": result.passed,
+                "recovery_time": result.recovery_time,
+                "reconverged_at": result.reconverged_at,
+            }
+            for name, result in matrix.items()
+        },
+        "speedup": {
+            "total": round(delivery_recovery, 3),
+            "delivery_recovery": round(delivery_recovery, 3),
+            "reconverge_margin": round(reconverge_margin, 3),
+        },
+    }
+    _merge_result(scale, entry)
+
+    for name, result in matrix.items():
+        assert result.passed, (
+            f"{name}: {[c.detail for c in result.failures()]}"
+        )
+    assert delivery_recovery >= 1.0

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI fault-matrix smoke: seeded fault plans under the convergence auditor.
+
+Builds a small framework, runs the named plans from
+``repro.faults.standard_fault_matrix`` (default: the three CI smoke plans
+— loss burst, partition that heals, crash/restart with state wipe), and
+fails (exit 1) if any auditor check fails. Optionally writes each
+scenario's JSONL audit trail (fault trace + check verdicts) for artifact
+upload.
+
+Usage (the CI fault-matrix job / ``make fault-matrix``)::
+
+    PYTHONPATH=src python scripts/run_fault_matrix.py \\
+        --proxies 48 --audit-dir benchmarks/out
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import HFCFramework
+from repro.faults import run_fault_scenario, standard_fault_matrix
+
+SMOKE_PLANS = ("loss_burst", "partition_heal", "crash_restart")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--proxies", type=int, default=48)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--k-periods",
+        type=int,
+        default=3,
+        help="reconvergence budget in protocol refresh periods",
+    )
+    parser.add_argument(
+        "--plans",
+        default=",".join(SMOKE_PLANS),
+        help="comma-separated plan names ('all' = the whole matrix)",
+    )
+    parser.add_argument(
+        "--audit-dir",
+        type=Path,
+        default=None,
+        help="write <plan>.audit.jsonl trails into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    framework = HFCFramework.build(proxy_count=args.proxies, seed=args.seed)
+    matrix = standard_fault_matrix(framework.hfc)
+    if args.plans.strip().lower() != "all":
+        wanted = [name.strip() for name in args.plans.split(",") if name.strip()]
+        unknown = sorted(set(wanted) - set(matrix))
+        if unknown:
+            sys.exit(f"error: unknown plan(s) {unknown}; have {sorted(matrix)}")
+        matrix = {name: matrix[name] for name in wanted}
+
+    failures = []
+    for name, plan in matrix.items():
+        result = run_fault_scenario(framework, plan, k_periods=args.k_periods)
+        print(f"{name:18s} {result.summary()}")
+        for check in result.checks:
+            mark = "ok " if check.passed else "FAIL"
+            print(f"    [{mark}] {check.name}: {check.detail}")
+        if args.audit_dir is not None:
+            args.audit_dir.mkdir(parents=True, exist_ok=True)
+            path = args.audit_dir / f"{name}.audit.jsonl"
+            entries = result.dump_jsonl(str(path))
+            print(f"    audit trail: {path} ({entries} entries)")
+        if not result.passed:
+            failures.append(name)
+
+    if failures:
+        print(f"\nFAIL: auditor rejected: {', '.join(failures)}")
+        return 1
+    print(f"\nfault matrix passed ({len(matrix)} plans, n={args.proxies})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,9 @@ substrate), :mod:`repro.coords` (Section 3.1), :mod:`repro.cluster`
 (Section 3.2), :mod:`repro.overlay` (Section 3.3 / HFC), :mod:`repro.state`
 (Section 4), :mod:`repro.routing` (Section 5), :mod:`repro.experiments`
 (Section 6), plus the future-work extensions :mod:`repro.membership` and
-:mod:`repro.qos`.
+:mod:`repro.qos`, and the deterministic fault-injection harness
+:mod:`repro.faults` (fault plans, delivery interception, convergence
+auditing).
 """
 
 from repro.core.config import FrameworkConfig

@@ -17,7 +17,7 @@ from repro.overlay.network import ProxyId
 from repro.routing.hierarchical import HierarchicalRouter
 from repro.routing.path import ServicePath
 from repro.services.request import ServiceRequest
-from repro.util.errors import RoutingError
+from repro.util.errors import EndpointFailedError
 
 
 def make_rerouter(framework: HFCFramework, request: ServiceRequest):
@@ -26,21 +26,41 @@ def make_rerouter(framework: HFCFramework, request: ServiceRequest):
     Returns a callable that, given the failed proxy set, removes those
     proxies from a dynamic view of the overlay and re-routes the request
     hierarchically on the patched topology. One :class:`DynamicOverlay`
-    persists across calls, so each invocation only pays for the *newly*
-    failed proxies — an incremental leave per failure instead of a fresh
-    overlay copy per reroute.
+    *and one router* persist across calls: each invocation only pays for
+    the *newly* failed proxies (an incremental leave per failure), and the
+    router is rebound to the rebuilt topology — gated on the overlay
+    version, so a reroute with no new failures reuses the bound topology
+    outright instead of rebuilding a router per call.
+
+    A failed request endpoint is unrecoverable by rerouting; that case
+    raises :class:`~repro.util.errors.EndpointFailedError` (a
+    :class:`~repro.util.errors.SessionError`) so callers can tell "the
+    session itself is dead" apart from ordinary routing failures.
     """
     dyn = DynamicOverlay(
         framework, restructure_tolerance=None, track_quality=False
     )
+    router = HierarchicalRouter(dyn.hfc)
+    bound_version = dyn.version
 
     def reroute(failed: FrozenSet[ProxyId]) -> ServicePath:
-        if request.source_proxy in failed or request.destination_proxy in failed:
-            raise RoutingError("a request endpoint failed; session cannot recover")
+        nonlocal bound_version
+        dead = {
+            p
+            for p in (request.source_proxy, request.destination_proxy)
+            if p in failed
+        }
+        if dead:
+            raise EndpointFailedError(
+                f"session endpoint(s) {sorted(dead, key=repr)} failed; "
+                "rerouting cannot recover a dead endpoint"
+            )
         for proxy in sorted(failed):
             if dyn.is_member(proxy):
                 dyn.leave(proxy)
-        router = HierarchicalRouter(dyn.hfc)
+        if dyn.version != bound_version:
+            router.rebind(dyn.hfc)
+            bound_version = dyn.version
         return router.route(request)
 
     return reroute

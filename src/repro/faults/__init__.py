@@ -1,0 +1,66 @@
+"""``repro.faults`` — deterministic fault injection and convergence auditing.
+
+The paper's soft-state protocol (Section 4) and restructuring story
+(Section 7) are claims about surviving loss and failure; this package is
+the machinery that *tests* those claims instead of assuming them:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, pure seed-reproducible
+  data describing per-link loss windows, partitions, proxy crash/restart
+  with state wipe, delay jitter, duplication, and reordering;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which executes a
+  plan by hooking the event simulator's delivery path, so every layer
+  built on the simulator (state protocol, delta streams, data plane) runs
+  under faults unmodified;
+* :mod:`repro.faults.auditor` — :class:`ConvergenceAuditor` and
+  :func:`run_fault_scenario`, which snapshot ground truth and assert the
+  system actually reconverges after the last fault window closes;
+* :mod:`repro.faults.scenarios` — the canonical seeded plans (loss burst,
+  partition that heals, crash/restart, reorder+duplicate) used by the
+  test suite, the resilience bench, and the CI fault-matrix smoke job.
+
+See DESIGN.md §10 for the fault model and the auditor's invariants.
+"""
+
+from repro.faults.auditor import (
+    AuditCheck,
+    ConvergenceAuditor,
+    FaultScenarioResult,
+    run_fault_scenario,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    CrashRestart,
+    DelayJitter,
+    Duplicate,
+    FaultPlan,
+    LinkLoss,
+    Partition,
+    Reorder,
+)
+from repro.faults.scenarios import (
+    crash_restart_plan,
+    loss_burst_plan,
+    partition_heal_plan,
+    reorder_duplicate_plan,
+    standard_fault_matrix,
+)
+
+__all__ = [
+    "AuditCheck",
+    "ConvergenceAuditor",
+    "CrashRestart",
+    "DelayJitter",
+    "Duplicate",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultScenarioResult",
+    "LinkLoss",
+    "Partition",
+    "Reorder",
+    "crash_restart_plan",
+    "loss_burst_plan",
+    "partition_heal_plan",
+    "reorder_duplicate_plan",
+    "run_fault_scenario",
+    "standard_fault_matrix",
+]

@@ -1,0 +1,238 @@
+"""Fault plans: pure data describing what goes wrong, and when.
+
+A :class:`FaultPlan` is the declarative half of the fault-injection layer:
+an immutable, seed-carrying schedule of fault specs. It contains no
+behaviour — the :class:`~repro.faults.injector.FaultInjector` executes it
+against a simulator — so the same plan object can drive a unit test, the
+resilience bench, and the CI fault matrix, and two runs of the same plan
+produce bit-identical fault traces.
+
+All times are absolute simulated time; windows are half-open
+``[start, end)``. Probabilistic specs (loss rates, duplication and
+reordering probabilities) draw from a single RNG seeded with
+``plan.seed``, consumed in event order, which is what makes the whole
+trace reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple, Union
+
+from repro.overlay.network import ProxyId
+from repro.services.catalog import ServiceName
+from repro.util.errors import FaultError
+
+
+def _check_window(spec: str, start: float, end: float) -> None:
+    if not (0.0 <= start < end):
+        raise FaultError(f"{spec}: window [{start}, {end}) is not a valid interval")
+
+
+def _check_probability(spec: str, name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultError(f"{spec}: {name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class LinkLoss:
+    """Bernoulli loss on matching links during ``[start, end)``.
+
+    ``sender``/``recipient`` of ``None`` act as wildcards, so one spec can
+    express anything from "this one directed link is lossy" to "the whole
+    overlay loses 30% of messages for four seconds" (a loss burst).
+    """
+
+    start: float
+    end: float
+    loss_rate: float
+    sender: Optional[ProxyId] = None
+    recipient: Optional[ProxyId] = None
+
+    def __post_init__(self) -> None:
+        _check_window("LinkLoss", self.start, self.end)
+        _check_probability("LinkLoss", "loss_rate", self.loss_rate)
+
+    def matches(self, sender: ProxyId, recipient: ProxyId) -> bool:
+        return (self.sender is None or self.sender == sender) and (
+            self.recipient is None or self.recipient == recipient
+        )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A network partition during ``[start, end)``.
+
+    ``groups`` are disjoint proxy sets; every message between two
+    *different* groups is dropped while the window is open. Proxies not in
+    any group are unaffected (they can reach everyone). The window closing
+    is the "heal".
+    """
+
+    start: float
+    end: float
+    groups: Tuple[FrozenSet[ProxyId], ...]
+
+    def __post_init__(self) -> None:
+        _check_window("Partition", self.start, self.end)
+        if len(self.groups) < 2:
+            raise FaultError("Partition needs at least two groups")
+        seen: set = set()
+        for group in self.groups:
+            if seen & group:
+                raise FaultError("Partition groups must be disjoint")
+            seen |= group
+
+    def severs(self, sender: ProxyId, recipient: ProxyId) -> bool:
+        side_s = side_r = None
+        for i, group in enumerate(self.groups):
+            if sender in group:
+                side_s = i
+            if recipient in group:
+                side_r = i
+        return side_s is not None and side_r is not None and side_s != side_r
+
+
+@dataclass(frozen=True)
+class CrashRestart:
+    """A proxy crashes at ``crash_at`` and (optionally) restarts later.
+
+    While crashed the proxy neither sends nor receives — messages in
+    either direction die silently, including ones already in flight toward
+    it. On restart with ``wipe_state=True`` (the default) its soft state
+    is reinitialised via the restart hook (for the state protocol:
+    :meth:`~repro.state.protocol.StateDistributionProtocol.wipe_state`),
+    and ``services_after`` optionally changes the service set it comes
+    back with — the case that historically exposed permanently-stale
+    receivers.
+    """
+
+    proxy: ProxyId
+    crash_at: float
+    restart_at: Optional[float] = None
+    wipe_state: bool = True
+    services_after: Optional[FrozenSet[ServiceName]] = None
+
+    def __post_init__(self) -> None:
+        if self.crash_at < 0:
+            raise FaultError(f"CrashRestart: crash_at must be >= 0, got {self.crash_at}")
+        if self.restart_at is not None and self.restart_at <= self.crash_at:
+            raise FaultError("CrashRestart: restart_at must be after crash_at")
+
+    def down_at(self, t: float) -> bool:
+        """Whether the proxy is down at time *t*."""
+        if t < self.crash_at:
+            return False
+        return self.restart_at is None or t < self.restart_at
+
+
+@dataclass(frozen=True)
+class DelayJitter:
+    """Extra uniform(0, ``jitter``) delivery delay during ``[start, end)``."""
+
+    start: float
+    end: float
+    jitter: float
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_window("DelayJitter", self.start, self.end)
+        _check_probability("DelayJitter", "probability", self.probability)
+        if self.jitter <= 0:
+            raise FaultError(f"DelayJitter: jitter must be positive, got {self.jitter}")
+
+
+@dataclass(frozen=True)
+class Duplicate:
+    """Messages are duplicated with ``probability`` during ``[start, end)``.
+
+    The copy is delivered after an extra uniform(0, ``max_offset``) delay
+    (0 delivers both copies simultaneously).
+    """
+
+    start: float
+    end: float
+    probability: float
+    max_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_window("Duplicate", self.start, self.end)
+        _check_probability("Duplicate", "probability", self.probability)
+        if self.max_offset < 0:
+            raise FaultError("Duplicate: max_offset must be >= 0")
+
+
+@dataclass(frozen=True)
+class Reorder:
+    """Messages are held back with ``probability`` during ``[start, end)``.
+
+    A held message gets an extra uniform(0, ``max_extra_delay``) delay, so
+    later messages on the same stream can overtake it — the reordering the
+    delta assembler's stale/gap logic must absorb.
+    """
+
+    start: float
+    end: float
+    probability: float
+    max_extra_delay: float
+
+    def __post_init__(self) -> None:
+        _check_window("Reorder", self.start, self.end)
+        _check_probability("Reorder", "probability", self.probability)
+        if self.max_extra_delay <= 0:
+            raise FaultError("Reorder: max_extra_delay must be positive")
+
+
+FaultSpec = Union[LinkLoss, Partition, CrashRestart, DelayJitter, Duplicate, Reorder]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of fault specs.
+
+    ``seed`` drives every probabilistic decision the injector makes for
+    this plan; two runs of the same plan against the same deterministic
+    simulation produce bit-identical fault traces.
+    """
+
+    seed: int
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # normalise any iterable of specs into the canonical tuple form
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def last_fault_end(self) -> float:
+        """When the last scheduled fault stops acting (0.0 for an empty plan).
+
+        A crash that never restarts contributes its crash time: from then
+        on the proxy is simply gone, which is steady state, not an open
+        fault window.
+        """
+        end = 0.0
+        for spec in self.specs:
+            if isinstance(spec, CrashRestart):
+                end = max(end, spec.restart_at if spec.restart_at is not None else spec.crash_at)
+            else:
+                end = max(end, spec.end)
+        return end
+
+    def crash_specs(self) -> Tuple[CrashRestart, ...]:
+        """All crash/restart specs, in schedule order."""
+        return tuple(s for s in self.specs if isinstance(s, CrashRestart))
+
+    def permanently_down(self, t: float):
+        """Proxies crashed at *t* with no restart scheduled, ever."""
+        return frozenset(
+            s.proxy
+            for s in self.crash_specs()
+            if s.restart_at is None and s.crash_at <= t
+        )
+
+    def describe(self) -> str:
+        """One line per spec, for logs and bench output."""
+        lines = [f"FaultPlan(seed={self.seed}, specs={len(self.specs)})"]
+        for spec in self.specs:
+            lines.append(f"  {spec}")
+        return "\n".join(lines)

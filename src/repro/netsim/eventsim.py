@@ -28,6 +28,14 @@ DELIVERY_LATENCY_BUCKETS: Tuple[float, ...] = (
 
 Address = Hashable
 
+#: A delivery interceptor: called once per :meth:`Simulator.send` with the
+#: message and its nominal delay; returns the list of delays at which
+#: copies of the message should actually be delivered. ``None`` means
+#: "deliver normally" (equivalent to ``[delay]``), an empty list drops the
+#: message, two entries duplicate it, and a perturbed delay models jitter
+#: or reordering. The fault-injection layer is the canonical implementor.
+DeliveryInterceptor = Callable[["Message", float], Optional[List[float]]]
+
 
 @dataclass(frozen=True)
 class Message:
@@ -69,6 +77,8 @@ class Simulator:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         #: per-kind (message counter, byte counter, latency histogram)
         self._delivery_handles: Dict[str, Tuple[Counter, Counter, Histogram]] = {}
+        #: optional hook on the delivery path (see :data:`DeliveryInterceptor`)
+        self.interceptor: Optional[DeliveryInterceptor] = None
 
     # -- telemetry -----------------------------------------------------------
 
@@ -162,14 +172,27 @@ class Simulator:
         self.schedule(period if first_delay is None else first_delay, fire)
 
     def send(self, message: Message, delay: float) -> None:
-        """Deliver *message* to its recipient after *delay* units."""
+        """Deliver *message* to its recipient after *delay* units.
+
+        If an :attr:`interceptor` is installed it decides the fate of the
+        message first: the nominal single delivery can become a drop, a
+        duplicate, or a perturbed-delay delivery (jitter/reordering). The
+        protocol layers above never see the difference — exactly the point
+        of hooking faults in here.
+        """
         sent_at = self.now
+        delays = [delay]
+        if self.interceptor is not None:
+            decided = self.interceptor(message, delay)
+            if decided is not None:
+                delays = decided
 
         def deliver() -> None:
             self._record_delivery(message, self.now - sent_at)
             self.process(message.recipient).receive(message)
 
-        self.schedule(delay, deliver)
+        for actual in delays:
+            self.schedule(actual, deliver)
 
     # -- execution ---------------------------------------------------------------
 

@@ -44,6 +44,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    entries_dropped: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -66,6 +67,9 @@ class CachedHierarchicalRouter(HierarchicalRouter):
         self._miss_counter = registry.counter("routing.cache.misses", cache="csp")
         self._invalidation_counter = registry.counter(
             "routing.cache.invalidations", cache="csp"
+        )
+        self._dropped_counter = registry.counter(
+            "routing.cache.entries_dropped", cache="csp"
         )
 
     def _key(self, request: ServiceRequest) -> Hashable:
@@ -109,11 +113,23 @@ class CachedHierarchicalRouter(HierarchicalRouter):
         self._csp_cache_put(key, csp)
         return csp
 
-    def invalidate(self) -> None:
-        """Drop every cached CSP (call when SCT_C content changes)."""
+    def invalidate(self) -> int:
+        """Drop every cached CSP (call when SCT_C content changes).
+
+        Returns the number of entries dropped. An invalidation of an
+        already-empty cache is a no-op and is *not* counted — otherwise
+        every first feed sync and every redundant call inflates the
+        invalidation stats without any cached answer having been at risk.
+        """
+        dropped = len(self._cache)
+        if dropped == 0:
+            return 0
         self._cache.clear()
         self.stats.invalidations += 1
+        self.stats.entries_dropped += dropped
         self._invalidation_counter.inc()
+        self._dropped_counter.inc(dropped)
+        return dropped
 
     def _capabilities_changed(self) -> None:
         # the feed version moved: every cached CSP may rest on stale SCT_C

@@ -211,15 +211,41 @@ class HierarchicalRouter:
         version = feed.version
         if version == self._feed_version:
             return False
-        first = self._feed_version is self._UNSYNCED
         self.cluster_capabilities = dict(feed.capabilities())
         self._feed_version = version
-        if not first:
-            self._capabilities_changed()
+        # fire on ANY replacement, the first sync included: a feed can be
+        # bound to a router that already cached answers computed from the
+        # constructor-default view, and those are stale the moment the
+        # feed's content takes over
+        self._capabilities_changed()
         return True
 
     def _capabilities_changed(self) -> None:
         """Hook: the capability view was replaced (subclasses drop caches)."""
+
+    def rebind(self, hfc: HFCTopology) -> None:
+        """Point this router at a (possibly rebuilt) HFC topology.
+
+        Recovery flows keep one long-lived router across overlay repairs
+        instead of constructing a new one per failure; after a membership
+        change rebuilt the topology they rebind. Feed-less routers get the
+        ground-truth capability view of the new placement; feed-bound ones
+        are forced to resynchronise on the next refresh. Either way
+        :meth:`_capabilities_changed` fires, because topology-derived
+        caches (CSP keys embed cluster ids, which a rebuild renumbers) are
+        all invalid now.
+        """
+        self.hfc = hfc
+        self._provider = CoordinateProvider(hfc.space)
+        if self.capability_feed is None:
+            self.cluster_capabilities = {
+                cid: aggregate_capability(hfc.overlay.placement, hfc.members(cid))
+                for cid in range(hfc.cluster_count)
+            }
+            self._capabilities_changed()
+        else:
+            self._feed_version = self._UNSYNCED
+            self.refresh_capabilities()
 
     # -- CSP cache hooks (no-ops here; the cached subclass persists CSPs) -------
 

@@ -21,6 +21,14 @@ encoding the incremental protocol mode uses instead:
   sequence (a **gap**) are ignored until the next full snapshot re-anchors
   the stream.
 
+Crash/restart is first-class: announcements carry an **incarnation**
+number alongside the sequence, and :meth:`DeltaEmitter.restart` hands out
+the emitter for the next incarnation after a state wipe. Receivers accept
+a full snapshot from a newer incarnation even though its sequence number
+restarted at 1 — without this, a restarted sender would be rejected as
+stale forever by every peer that saw its pre-crash announcements (the
+fault-injection suite regression-tests exactly this).
+
 Wire-size accounting: an announcement costs ``1`` abstract unit of header
 (sequence number + stream key) plus one unit per service name carried —
 so an unchanged set costs 1 instead of |services|, and the simulator's
@@ -46,12 +54,19 @@ class Announcement:
     ``full`` is the complete set for full snapshots (``added``/``removed``
     are empty); delta announcements carry only the symmetric difference
     against the stream's previous announcement.
+
+    ``incarnation`` identifies the sender's boot: a sender that crashed
+    and restarted with wiped state announces under a strictly larger
+    incarnation, so receivers that remember the pre-crash sequence numbers
+    do not reject the restarted stream as stale forever. Sequence numbers
+    only order announcements *within* one incarnation.
     """
 
     seq: int
     full: Optional[FrozenSet[ServiceName]] = None
     added: FrozenSet[ServiceName] = frozenset()
     removed: FrozenSet[ServiceName] = frozenset()
+    incarnation: int = 0
 
     @property
     def is_full(self) -> bool:
@@ -74,6 +89,9 @@ class DeltaEmitter:
     #: default trades ~70% of the steady-state byte savings for a refresh
     #: frequent enough that 30%+ message loss still converges quickly.
     refresh_every: int = 4
+    #: the sender's boot counter; bump via :meth:`restart` after a crash
+    #: with state wipe so receivers accept the fresh streams
+    incarnation: int = 0
     _last: Dict[StreamId, FrozenSet[ServiceName]] = field(default_factory=dict)
     _seq: Dict[StreamId, int] = field(default_factory=dict)
 
@@ -93,17 +111,46 @@ class DeltaEmitter:
         previous = self._last.get(stream)
         self._last[stream] = services
         if previous is None or (seq - 1) % self.refresh_every == 0:
-            return Announcement(seq=seq, full=services)
+            return Announcement(
+                seq=seq, full=services, incarnation=self.incarnation
+            )
         return Announcement(
-            seq=seq, added=services - previous, removed=previous - services
+            seq=seq,
+            added=services - previous,
+            removed=previous - services,
+            incarnation=self.incarnation,
+        )
+
+    def restart(self) -> "DeltaEmitter":
+        """A fresh emitter for the next incarnation of the same sender.
+
+        Models a crash/restart with state wipe: per-stream history and
+        sequence numbers are gone, but the incarnation counter is strictly
+        larger than before (a real node would derive it from stable
+        storage or a boot timestamp). Every stream's first announcement
+        after a restart is therefore a full snapshot under a newer
+        incarnation, which receivers accept even though its sequence
+        number (1) is far below the pre-crash one.
+        """
+        return DeltaEmitter(
+            refresh_every=self.refresh_every, incarnation=self.incarnation + 1
         )
 
 
 @dataclass
 class DeltaAssembler:
-    """Receiver-side stream reassembly with stale/gap rejection."""
+    """Receiver-side stream reassembly with stale/gap rejection.
 
-    _seq: Dict[StreamId, int] = field(default_factory=dict)
+    Stream heads are ``(incarnation, seq)`` pairs: announcements from an
+    older incarnation are stale, and within one incarnation the plain
+    sequence rules apply. A *newer* incarnation re-anchors the stream at
+    its first full snapshot — without this, a sender that crashed and
+    restarted with wiped state (sequence numbers back at 1) would be
+    rejected as stale by every receiver that saw its pre-crash
+    announcements, freezing their view of that stream forever.
+    """
+
+    _heads: Dict[StreamId, Tuple[int, int]] = field(default_factory=dict)
     _sets: Dict[StreamId, FrozenSet[ServiceName]] = field(default_factory=dict)
     #: announcements ignored because their sequence was not newer
     stale: int = 0
@@ -126,28 +173,37 @@ class DeltaAssembler:
     ) -> Optional[FrozenSet[ServiceName]]:
         """Apply *announcement*; the stream's reconstructed set, or None.
 
-        None means the announcement was ignored: stale (old sequence) or a
-        gap (a delta whose base this assembler never saw). A gapped stream
+        None means the announcement was ignored: stale (an older
+        incarnation, or an old sequence within the current one) or a gap
+        (a delta whose base this assembler never saw). A gapped stream
         stays ignored until the next full snapshot re-anchors it — the
         sequence pointer is deliberately not advanced past a gap.
         """
-        last = self._seq.get(stream, 0)
-        if announcement.seq <= last:
+        last_inc, last_seq = self._heads.get(stream, (-1, 0))
+        if announcement.incarnation < last_inc or (
+            announcement.incarnation == last_inc and announcement.seq <= last_seq
+        ):
             self.stale += 1
             return None
         if announcement.is_full:
-            self._seq[stream] = announcement.seq
+            self._heads[stream] = (announcement.incarnation, announcement.seq)
             value = announcement.full
             assert value is not None
             self._sets[stream] = value
             self.applied += 1
             return value
         base = self._sets.get(stream)
-        if base is None or announcement.seq != last + 1:
+        if (
+            base is None
+            or announcement.incarnation != last_inc
+            or announcement.seq != last_seq + 1
+        ):
+            # a delta from a newer incarnation has no base here either —
+            # wait for that incarnation's full snapshot to re-anchor
             self.gaps += 1
             return None
         value = (base - announcement.removed) | announcement.added
-        self._seq[stream] = announcement.seq
+        self._heads[stream] = (last_inc, announcement.seq)
         self._sets[stream] = value
         self.applied += 1
         return value

@@ -341,9 +341,11 @@ class StateDistributionProtocol:
             self.states[proxy] = state
 
         self._agents: List[_ProxyAgent] = []
+        self._agent_of: Dict[ProxyId, _ProxyAgent] = {}
         for proxy in hfc.overlay.proxies:
             agent = _ProxyAgent(proxy, self)
             self._agents.append(agent)
+            self._agent_of[proxy] = agent
             self.sim.register(agent)
 
     # -- plumbing ---------------------------------------------------------------
@@ -413,6 +415,47 @@ class StateDistributionProtocol:
         state.sct_c.update(
             state.cluster_id, state.aggregate_own_cluster(), now=self.sim.now
         )
+
+    def wipe_state(self, proxy: ProxyId, *, services=None) -> None:
+        """Crash/restart *proxy* with a state wipe.
+
+        The restarted proxy forgets everything it learned: its SCT_P and
+        SCT_C shrink back to self-knowledge (exactly the initial state),
+        and in delta mode its emitter restarts under the next incarnation
+        while its assembler comes back empty. Everything re-fills through
+        the normal periodic flows — the fault-injection suite measures how
+        long that takes.
+
+        Pass *services* to model the proxy coming back with a different
+        service set (ground truth is updated like
+        :meth:`update_local_services`); by default it restarts with the
+        services it had.
+        """
+        agent = self._agent_of.get(proxy)
+        if agent is None:
+            raise StateError(f"unknown proxy {proxy!r}")
+        placement = self.hfc.overlay.placement
+        if services is not None:
+            placement[proxy] = frozenset(services)
+        now = self.sim.now
+        state = ProxyState(proxy=proxy, cluster_id=self.hfc.cluster_of(proxy))
+        state.sct_p.update(proxy, placement[proxy], now=now)
+        state.sct_c.update(state.cluster_id, placement[proxy], now=now)
+        self.states[proxy] = state
+        agent.state = state
+        if agent.emitter is not None:
+            # the incarnation bump is the restart's only surviving memory;
+            # without it peers would reject the fresh streams as stale
+            agent.emitter = agent.emitter.restart()
+            agent.assembler = DeltaAssembler()
+        self.sim.telemetry.registry.counter("protocol.restarts").inc()
+
+    @property
+    def refresh_period(self) -> float:
+        """Simulated time between full-snapshot refreshes of the aggregate
+        flow — the unit the convergence auditor's K budget is expressed in.
+        """
+        return self.refresh_every * self.aggregate_period
 
     # -- ground truth and convergence -----------------------------------------------
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.versioning import MutableCapabilityFeed
 from repro.routing import HierarchicalRouter, validate_path
 from repro.routing.cache import (
     CachedHierarchicalRouter,
@@ -80,10 +81,23 @@ class TestCachedRouting:
     def test_invalidate_clears(self, framework, cached):
         request = framework.random_request(seed=2)
         cached.route(request)
-        cached.invalidate()
+        dropped = cached.invalidate()
+        assert dropped == 1
         cached.route(request)
         assert cached.stats.misses == 2
         assert cached.stats.invalidations == 1
+        assert cached.stats.entries_dropped == 1
+
+    def test_empty_invalidate_not_counted(self, framework):
+        router = CachedHierarchicalRouter(framework.hfc)
+        assert router.invalidate() == 0
+        assert router.invalidate() == 0
+        assert router.stats.invalidations == 0
+        assert router.stats.entries_dropped == 0
+        request = framework.random_request(seed=2)
+        router.route(request)
+        assert router.invalidate() == 1
+        assert router.stats.invalidations == 1
 
     def test_update_capabilities_changes_answers(self, framework, cached):
         """After SCT_C changes, cached answers must not leak through."""
@@ -111,3 +125,54 @@ class TestCachedRouting:
         cached.route(request)
         cached.route(request)
         assert cached.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestFeedFreshness:
+    """Stale-CSP regressions: a feed version move must never leak a cached
+    answer computed under the previous capability view."""
+
+    def _empty_caps(self, framework):
+        return {cid: frozenset() for cid in range(framework.hfc.cluster_count)}
+
+    def test_late_bound_feed_drops_prefeed_csps(self, framework):
+        """Binding a feed to a router that already cached CSPs must fire
+        the invalidation hook on the FIRST sync, not only on later bumps.
+
+        Pre-fix, the first feed sync replaced the capability view but
+        skipped ``_capabilities_changed`` — CSPs cached under the
+        constructor-default (ground truth) view were served against the
+        feed's content forever.
+        """
+        router = CachedHierarchicalRouter(framework.hfc)
+        request = framework.random_request(seed=3)
+        router.route(request)  # cached under the ground-truth default view
+        router.capability_feed = MutableCapabilityFeed(self._empty_caps(framework))
+        with pytest.raises(NoFeasiblePathError):
+            router.route(request)
+
+    def test_late_bound_feed_drops_prefeed_csps_in_batch(self, framework):
+        """Same first-sync hole through the route_many batch engine."""
+        router = CachedHierarchicalRouter(framework.hfc)
+        requests = [framework.random_request(seed=s) for s in range(4)]
+        router.route_many(requests)
+        router.capability_feed = MutableCapabilityFeed(self._empty_caps(framework))
+        with pytest.raises(NoFeasiblePathError):
+            router.route_many(requests)
+
+    def test_feed_bump_between_batches_recomputes(self, framework):
+        """route_many must resync the feed at batch start: a version bump
+        between two batches may not serve the first batch's CSPs."""
+        feed = MutableCapabilityFeed(framework.capability_feed().capabilities())
+        router = CachedHierarchicalRouter(framework.hfc, capability_feed=feed)
+        requests = [framework.random_request(seed=s) for s in range(4)]
+        first = router.route_many(requests)
+        misses_after_first = router.stats.misses
+        feed.publish(self._empty_caps(framework))
+        with pytest.raises(NoFeasiblePathError):
+            router.route_many(requests)
+        # the failed batch recomputed rather than hitting stale entries
+        assert router.stats.misses > misses_after_first
+        # publishing the original view again serves correct paths anew
+        feed.publish(framework.capability_feed().capabilities())
+        second = router.route_many(requests)
+        assert [p.hops for p in second] == [p.hops for p in first]

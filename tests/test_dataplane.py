@@ -4,7 +4,7 @@ import pytest
 
 from repro.dataplane import StreamingSession, make_rerouter, path_nominal_latency
 from repro.routing import HierarchicalRouter
-from repro.util.errors import RoutingError
+from repro.util.errors import EndpointFailedError, RoutingError, SessionError
 
 
 @pytest.fixture(scope="module")
@@ -128,6 +128,35 @@ class TestFailureWithRecovery:
                 failures={request.destination_proxy: 10.0},
                 rerouter=make_rerouter(framework, request),
             )
+
+    def test_endpoint_failure_raises_typed_session_error(self, framework, routed):
+        """A dead endpoint is a session-level failure, distinguishable from
+        ordinary routing failures by its type."""
+        request, _ = routed
+        reroute = make_rerouter(framework, request)
+        with pytest.raises(EndpointFailedError) as exc_info:
+            reroute(frozenset({request.source_proxy}))
+        assert isinstance(exc_info.value, SessionError)
+        assert isinstance(exc_info.value, RoutingError)  # back-compat catch
+        assert repr(request.source_proxy) in str(exc_info.value)
+
+    def test_rerouter_reuses_router_across_calls(self, framework, routed):
+        """The hoisted router is rebound only when the overlay version
+        moves; repeat calls with no new failures reuse it outright."""
+        request, path = routed
+        victim = path.service_hops()[0].proxy
+        if victim in (request.source_proxy, request.destination_proxy):
+            pytest.skip("victim is an endpoint")
+        reroute = make_rerouter(framework, request)
+        # no failures yet: both calls route on the pristine overlay
+        first = reroute(frozenset())
+        second = reroute(frozenset())
+        assert first.hops == second.hops
+        # a failure rebuilds the topology and the rerouted path avoids it
+        repaired = reroute(frozenset({victim}))
+        assert victim not in repaired.proxies()
+        # the already-processed failure does not trigger another rebuild
+        assert reroute(frozenset({victim})).hops == repaired.hops
 
     def test_loss_bounded_by_detection_window(self, framework, routed):
         """Packets lost ~ (outage until switch) / interval, bounded above."""

@@ -305,3 +305,51 @@ def test_true_delay_provider_memoizes_blocks(framework):
     assert np.array_equal(
         first, TrueDelayProvider(framework.overlay, memoize=False).block(us, vs)
     )
+
+
+def test_true_delay_memo_no_thrash_with_cached_matrix(framework):
+    """The overlay's cached matrix is one stable token: repeated block
+    queries must be memo hits, never silent rebuild-and-replace."""
+    provider = TrueDelayProvider(framework.overlay)
+    us = framework.overlay.proxies[:6]
+    vs = framework.overlay.proxies[6:10]
+    blocks = [provider.block(us, vs) for _ in range(5)]
+    assert all(b is blocks[0] for b in blocks)
+    assert len(provider._memo) == 1  # one key, not five rebuilt entries
+
+
+def test_true_delay_memo_drops_on_rebuilt_matrix(framework):
+    provider = TrueDelayProvider(framework.overlay)
+    us = framework.overlay.proxies[:4]
+    first = provider.block(us, us)
+    # force the overlay to re-materialise its delay matrix: a new array
+    # object is a new token, so the memo must drop the old blocks
+    framework.overlay._true_matrix = framework.overlay.true_delay_matrix().copy()
+    second = provider.block(us, us)
+    assert second is not first
+    assert np.array_equal(first, second)
+    assert provider.block(us, us) is second  # re-anchored on the new token
+
+
+def test_block_memo_alternating_tokens_never_cross_serve():
+    """A token flip clears the memo outright: entries stored under token A
+    must never be served under token B, nor resurrected when A returns."""
+    from repro.routing.providers import _BlockMemo
+
+    memo = _BlockMemo(capacity=8)
+    token_a, token_b = object(), object()
+    key = (("u",), ("v",))
+    block_a = np.arange(4.0).reshape(2, 2)
+    block_b = block_a * 10.0
+
+    assert memo.lookup(token_a, key) is None
+    memo.store(key, block_a)
+    assert memo.lookup(token_a, key) is block_a
+
+    assert memo.lookup(token_b, key) is None  # token flip: cleared
+    memo.store(key, block_b)
+    assert memo.lookup(token_b, key) is block_b
+
+    # flipping back to A must NOT serve block_b (or a stale block_a)
+    assert memo.lookup(token_a, key) is None
+    assert len(memo) == 0
