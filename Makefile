@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-query examples clean lint bench-smoke fault-matrix ci
+.PHONY: install test bench bench-full bench-query traffic examples clean lint bench-smoke fault-matrix ci
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,11 @@ bench-output:
 bench-query:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_query.py --benchmark-only -q
 
+# Regenerate the sustained-traffic bench (BENCH_traffic.json) at the active
+# scale: steady state, rate-sweep saturation, and load-under-faults.
+traffic:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_traffic.py --benchmark-only -q
+
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
 
@@ -46,14 +51,17 @@ bench-smoke:
 	cp BENCH_churn.json /tmp/churn_baseline.json
 	cp BENCH_query.json /tmp/query_baseline.json
 	cp BENCH_resilience.json /tmp/resilience_baseline.json
+	cp BENCH_traffic.json /tmp/traffic_baseline.json
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_construction.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_churn.py::test_incremental_churn_speedup --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_query.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_resilience.py::test_fault_matrix_recovery --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_traffic.py --benchmark-only -q
 	$(PYTHON) scripts/check_bench_regression.py /tmp/bench_baseline.json BENCH_construction.json --tolerance 0.25
 	$(PYTHON) scripts/check_bench_regression.py /tmp/churn_baseline.json BENCH_churn.json --tolerance 0.25 --metric maintenance --metric state_bytes
 	$(PYTHON) scripts/check_bench_regression.py /tmp/query_baseline.json BENCH_query.json --tolerance 0.25 --metric batch_throughput --metric single_query
 	$(PYTHON) scripts/check_bench_regression.py /tmp/resilience_baseline.json BENCH_resilience.json --tolerance 0.25 --metric delivery_recovery --metric reconverge_margin
+	$(PYTHON) scripts/check_bench_regression.py /tmp/traffic_baseline.json BENCH_traffic.json --tolerance 0.25 --metric steady_throughput --metric p95_latency
 
 # The CI fault-matrix smoke job: three seeded fault plans (loss burst,
 # partition heal, crash/restart) at small n under the convergence auditor.

@@ -1,0 +1,174 @@
+"""Extension bench E8 — sustained open-loop traffic and saturation.
+
+Three parts, all on the :mod:`repro.traffic` engine:
+
+* a steady-state run at the operating rate (offered vs. completed load,
+  p50/p95/p99 sojourn, in-flight sessions), with the request trace dumped
+  to ``benchmarks/out/traffic_<scale>.trace.jsonl``;
+* a rate sweep that must locate the overlay's saturation point (the first
+  rate where goodput falls below 90% or p95 blows past 3x the unloaded
+  baseline);
+* a sustained-load-under-faults scenario: a border-proxy crash/restart
+  plan executes while traffic flows, the convergence auditor must pass,
+  and delivery continuity through the fault window is reported.
+
+Results land in ``BENCH_traffic.json`` at the repo root, keyed by scale.
+Both gated metrics are deterministic simulated-clock ratios, so CI runs
+compare like for like across hardware:
+
+* ``steady_throughput`` — the goodput ratio (admitted x delivered) at the
+  operating rate; a drop means the overlay now rejects or loses load it
+  used to carry;
+* ``p95_latency`` — unloaded-baseline p95 divided by operating-rate p95
+  (higher is better); a drop means the operating point moved toward the
+  latency knee.
+
+``scripts/check_bench_regression.py --metric steady_throughput --metric
+p95_latency`` gates both at 25% tolerance.
+"""
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+from repro.core import HFCFramework
+from repro.experiments import ascii_table
+from repro.faults import crash_restart_plan
+from repro.traffic import (
+    Poisson,
+    SessionConfig,
+    TrafficConfig,
+    TrafficEngine,
+    rate_sweep,
+    run_traffic_under_faults,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_traffic.json"
+OUT_DIR = Path(__file__).parent / "out"
+
+#: the fault-continuity part runs at this fixed size at every scale, so the
+#: committed full-scale entry stays comparable with CI's small runs
+FAULT_PROXIES = 48
+
+
+def _workload():
+    """(scale, proxies, operating_rate, max_in_flight, sweep) for the scale."""
+    full = os.environ.get("REPRO_SCALE", "small").strip().lower()
+    if full in ("full", "1", "1.0"):
+        return "full", 1000, 0.03, 400, [0.03, 0.06, 0.12, 0.24, 0.48]
+    return "small", 120, 0.02, 150, [0.02, 0.04, 0.08, 0.16]
+
+
+def _config(rate, max_in_flight):
+    return TrafficConfig(
+        arrival=Poisson(rate=rate),
+        duration=6_000.0,
+        warmup=1_000.0,
+        max_in_flight=max_in_flight,
+        service_time=4.0,
+        session=SessionConfig(mean_lifetime=2_000.0, mean_gap=400.0),
+    )
+
+
+def _merge_result(scale, entry):
+    """Rewrite BENCH_traffic.json, preserving the other scales' entries."""
+    existing = {}
+    if RESULT_PATH.exists():
+        existing = json.loads(RESULT_PATH.read_text()).get("entries", {})
+    existing[scale] = entry
+    snapshot = {
+        "bench": "traffic",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "entries": existing,
+    }
+    RESULT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+
+def test_sustained_traffic_saturation(benchmark, emit):
+    scale, proxy_count, rate, max_in_flight, sweep_rates = _workload()
+    config = _config(rate, max_in_flight)
+
+    def run():
+        framework = HFCFramework.build(proxy_count=proxy_count, seed=11)
+        router = framework.cached_hierarchical_router()
+        engine = TrafficEngine(framework, config, router=router, seed=1)
+        steady = engine.run()
+        sweep = rate_sweep(
+            framework, sweep_rates, config=config, seed=1, router=router
+        )
+        fault_framework = HFCFramework.build(proxy_count=FAULT_PROXIES, seed=3)
+        faulted = run_traffic_under_faults(
+            fault_framework,
+            crash_restart_plan(fault_framework.hfc, seed=37),
+            config=TrafficConfig(
+                arrival=Poisson(rate=0.01),
+                duration=6_000.0,
+                warmup=1_000.0,
+                session=SessionConfig(mean_lifetime=1_500.0, mean_gap=300.0),
+            ),
+            traffic_seed=8,
+        )
+        return engine, steady, sweep, faulted
+
+    engine, steady, sweep, faulted = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    engine.dump_trace(str(OUT_DIR / f"traffic_{scale}.trace.jsonl"))
+
+    base_p95 = sweep.base_p95
+    p95_ratio = base_p95 / steady.latency_p95
+
+    emit(
+        "traffic",
+        f"E8 — sustained traffic, n={proxy_count}, operating rate {rate} "
+        f"sessions/ms (cap {max_in_flight})\n"
+        + ascii_table(
+            ["sessions/ms", "offered req/s", "completed req/s", "goodput",
+             "p50 ms", "p95 ms", "p99 ms", "in-flight peak"],
+            sweep.rows(),
+        )
+        + f"\nsaturation rate: {sweep.saturation_rate} sessions/ms"
+        + f"\nunder faults: passed={faulted.passed} "
+        f"calm={faulted.calm_continuity:.3f} "
+        f"fault-window={faulted.fault_continuity:.3f}",
+    )
+
+    entry = {
+        "proxies": proxy_count,
+        "operating_rate": rate,
+        "max_in_flight": max_in_flight,
+        "steady": steady.to_dict(),
+        "sweep": {
+            "rates": sweep_rates,
+            "saturation_rate": sweep.saturation_rate,
+            "base_p95": round(base_p95, 3),
+            "goodput": [round(p.report.goodput_ratio, 4) for p in sweep.points],
+            "p95": [round(p.report.latency_p95, 3) for p in sweep.points],
+        },
+        "under_faults": {
+            "proxies": FAULT_PROXIES,
+            "passed": faulted.passed,
+            "calm_continuity": round(faulted.calm_continuity, 4),
+            "fault_continuity": round(faulted.fault_continuity, 4),
+            "reconverged_at": faulted.scenario.reconverged_at,
+        },
+        "speedup": {
+            "total": round(steady.goodput_ratio, 4),
+            "steady_throughput": round(steady.goodput_ratio, 4),
+            "p95_latency": round(p95_ratio, 4),
+        },
+    }
+    _merge_result(scale, entry)
+
+    # the operating point must be comfortably inside the stable region ...
+    assert steady.goodput_ratio >= 0.9
+    assert steady.latency_p50 <= steady.latency_p95 <= steady.latency_p99
+    assert not math.isnan(steady.latency_p95)
+    # ... and the sweep must actually find the knee
+    assert sweep.saturation_rate is not None
+    # the control plane reconverges under load, and traffic keeps flowing
+    assert faulted.passed
+    assert faulted.fault_continuity > 0.5

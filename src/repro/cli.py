@@ -8,7 +8,9 @@ Commands:
 * ``fig10``   — regenerate Fig 10 (service-path efficiency);
 * ``report``  — regenerate the complete evaluation as one markdown report;
 * ``protocol``— run the Section-4 state protocol and print its cost;
-* ``telemetry`` — exercise every instrumented layer and dump the metrics.
+* ``telemetry`` — exercise every instrumented layer and dump the metrics;
+* ``traffic`` — sustained open-loop session load: steady-state report,
+  optional rate sweep (saturation point) and load-under-faults scenario.
 
 Common flags: ``--scale`` (fraction of paper sizes), ``--seed``,
 ``--json FILE`` (machine-readable output), ``--telemetry-out FILE``
@@ -211,6 +213,94 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_traffic(args: argparse.Namespace) -> int:
+    """Run the open-loop traffic engine and print the steady-state report."""
+    from repro.faults.scenarios import crash_restart_plan
+    from repro.traffic import (
+        MMPP,
+        FlashCrowd,
+        Poisson,
+        SessionConfig,
+        TrafficConfig,
+        TrafficEngine,
+        rate_sweep,
+        run_traffic_under_faults,
+    )
+
+    framework = HFCFramework.build(proxy_count=args.proxies, seed=args.seed)
+    print(framework.describe())
+
+    shapes = (FlashCrowd(),) if args.flash_crowd else ()
+    arrival = (
+        MMPP(rates=(args.rate / 4, args.rate * 2), shapes=shapes)
+        if args.arrival == "mmpp"
+        else Poisson(rate=args.rate, shapes=shapes)
+    )
+    config = TrafficConfig(
+        arrival=arrival,
+        duration=args.duration,
+        warmup=min(args.duration / 5, 2000.0),
+        max_in_flight=args.max_in_flight,
+        session=SessionConfig(),
+    )
+    engine = TrafficEngine(framework, config, seed=args.seed + 1)
+    report = engine.run()
+    payload = {"steady": report.to_dict()}
+    print("steady state:")
+    print(ascii_table(
+        ["offered req/s", "completed req/s", "goodput", "p50 ms", "p95 ms",
+         "p99 ms", "in-flight peak"],
+        [[f"{report.offered_rate:.1f}", f"{report.completed_rate:.1f}",
+          f"{report.goodput_ratio:.3f}", f"{report.latency_p50:.1f}",
+          f"{report.latency_p95:.1f}", f"{report.latency_p99:.1f}",
+          report.in_flight_peak]],
+    ))
+
+    if args.trace_out:
+        count = engine.dump_trace(args.trace_out)
+        print(f"request trace ({count} events) written to {args.trace_out}")
+
+    if args.sweep:
+        rates = [float(r) for r in args.sweep.split(",")]
+        sweep = rate_sweep(
+            framework, rates, config=config, seed=args.seed + 1,
+            router=engine.router,
+        )
+        print("\nrate sweep:")
+        print(ascii_table(
+            ["sessions/ms", "offered req/s", "completed req/s", "goodput",
+             "p50 ms", "p95 ms", "p99 ms", "in-flight peak"],
+            sweep.rows(),
+        ))
+        print(f"saturation rate: {sweep.saturation_rate}")
+        payload["sweep"] = {
+            "rates": rates,
+            "saturation_rate": sweep.saturation_rate,
+            "points": [
+                {"rate": p.rate, **p.report.to_dict()} for p in sweep.points
+            ],
+        }
+
+    if args.under_faults:
+        result = run_traffic_under_faults(
+            framework,
+            crash_restart_plan(framework.hfc, seed=args.seed + 30),
+            config=config,
+            traffic_seed=args.seed + 2,
+        )
+        print(f"\nunder faults (crash/restart): {result.scenario.summary()}")
+        print(
+            f"delivery continuity: calm {result.calm_continuity:.3f}, "
+            f"fault window {result.fault_continuity:.3f}"
+        )
+        payload["under_faults"] = result.to_dict()
+
+    if args.json:
+        dump_json(payload, args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -260,6 +350,31 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--requests", type=int, default=25)
     _add_common(telemetry)
     telemetry.set_defaults(fn=cmd_telemetry)
+
+    traffic = sub.add_parser(
+        "traffic", help="run sustained open-loop session traffic"
+    )
+    traffic.add_argument("--proxies", type=int, default=100)
+    traffic.add_argument("--rate", type=float, default=0.02,
+                         help="session arrivals per simulated ms (default 0.02)")
+    traffic.add_argument("--duration", type=float, default=10_000.0,
+                         help="arrival horizon in simulated ms (default 10000)")
+    traffic.add_argument("--max-in-flight", type=int, default=512,
+                         help="admission cap on open sessions (default 512)")
+    traffic.add_argument("--arrival", choices=("poisson", "mmpp"),
+                         default="poisson")
+    traffic.add_argument("--flash-crowd", action="store_true",
+                         help="overlay a flash-crowd burst on the arrival rate")
+    traffic.add_argument("--sweep", metavar="R1,R2,...", default=None,
+                         help="also sweep these arrival rates and report the "
+                              "saturation point")
+    traffic.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="write the deterministic request trace as JSONL")
+    traffic.add_argument("--under-faults", action="store_true",
+                         help="also run the load under a crash/restart fault "
+                              "plan with the convergence auditor")
+    _add_common(traffic)
+    traffic.set_defaults(fn=cmd_traffic)
 
     return parser
 

@@ -20,6 +20,7 @@ from repro.services.graph import ServiceGraph, branching_graph, linear_graph
 from repro.services.request import ServiceRequest
 from repro.util.errors import NoFeasiblePathError, ReproError
 from repro.util.rng import RngLike, ensure_rng
+from repro.util.sampling import POPULARITY_MODELS, PopularitySampler
 
 
 @dataclass(frozen=True)
@@ -43,33 +44,28 @@ class WorkloadConfig:
             raise ReproError("invalid request length bounds")
         if not 0.0 <= self.nonlinear_fraction <= 1.0:
             raise ReproError("nonlinear_fraction must be in [0, 1]")
-        if self.popularity not in ("uniform", "zipf"):
+        if self.popularity not in POPULARITY_MODELS:
             raise ReproError("popularity must be 'uniform' or 'zipf'")
         if self.zipf_exponent <= 0:
             raise ReproError("zipf_exponent must be positive")
 
 
-class ServiceSampler:
+class ServiceSampler(PopularitySampler):
     """Draws service names according to the configured popularity model.
 
     For ``zipf``, service i (in catalog order) has weight ``1 / (i+1)^s``:
-    a few services dominate the workload, as real deployments see.
+    a few services dominate the workload, as real deployments see. This is
+    the catalog-flavoured face of :class:`repro.util.sampling.PopularitySampler`
+    (the traffic engine uses the shared class directly); the draw sequence
+    is unchanged, so seeded workloads stay bit-identical.
     """
 
     def __init__(self, catalog: ServiceCatalog, config: WorkloadConfig) -> None:
-        self._names = list(catalog.names)
-        if config.popularity == "uniform":
-            self._weights = None
-        else:
-            self._weights = [
-                1.0 / (rank + 1) ** config.zipf_exponent
-                for rank in range(len(self._names))
-            ]
-
-    def draw(self, rng) -> str:
-        if self._weights is None:
-            return rng.choice(self._names)
-        return rng.choices(self._names, weights=self._weights, k=1)[0]
+        super().__init__(
+            list(catalog.names),
+            popularity=config.popularity,
+            exponent=config.zipf_exponent,
+        )
 
 
 def random_service_graph(

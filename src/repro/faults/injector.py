@@ -43,6 +43,11 @@ from repro.util.rng import ensure_rng
 #: callback fired when a crashed proxy restarts; receives the spec
 RestartHook = Callable[[CrashRestart], None]
 
+#: maps a simulator address to the proxy a fault spec would name (identity
+#: by default); lets auxiliary processes colocated with a proxy — e.g. the
+#: traffic engine's ``("traffic", proxy)`` relays — share the proxy's fate
+AddressResolver = Callable[[Any], Any]
+
 
 class FaultInjector:
     """Executes a fault plan by intercepting simulator deliveries."""
@@ -60,19 +65,31 @@ class FaultInjector:
         self._duplicates = [s for s in plan.specs if isinstance(s, Duplicate)]
         self._reorders = [s for s in plan.specs if isinstance(s, Reorder)]
         self._on_restart: Optional[RestartHook] = None
+        self._resolve: Optional[AddressResolver] = None
 
     # -- lifecycle ---------------------------------------------------------------
 
     def install(
-        self, sim: Simulator, *, on_restart: Optional[RestartHook] = None
+        self,
+        sim: Simulator,
+        *,
+        on_restart: Optional[RestartHook] = None,
+        resolve: Optional[AddressResolver] = None,
     ) -> "FaultInjector":
-        """Hook this injector into *sim* and schedule crash/restart events."""
+        """Hook this injector into *sim* and schedule crash/restart events.
+
+        *resolve* maps message addresses to the proxy ids fault specs name
+        (default: identity). Layers that register auxiliary processes under
+        namespaced addresses (the traffic engine's per-proxy relays) pass
+        their resolver so crash/partition/loss matching sees the proxy.
+        """
         if self.sim is not None:
             raise FaultError("injector is already installed")
         if sim.interceptor is not None:
             raise FaultError("simulator already has a delivery interceptor")
         self.sim = sim
         self._on_restart = on_restart
+        self._resolve = resolve
         sim.interceptor = self.intercept
         registry = sim.telemetry.registry
         self._drop_counters = {
@@ -126,6 +143,9 @@ class FaultInjector:
         assert sim is not None
         now = sim.now
         sender, recipient = message.sender, message.recipient
+        if self._resolve is not None:
+            sender = self._resolve(sender)
+            recipient = self._resolve(recipient)
 
         if self.down(sender, now):
             return self._drop("crash_sender", message, now)

@@ -218,6 +218,19 @@ class FaultPlan:
                 end = max(end, spec.end)
         return end
 
+    @property
+    def first_fault_start(self) -> float:
+        """When the earliest scheduled fault starts acting (0.0 when empty).
+
+        The dual of :attr:`last_fault_end`; together they bound the fault
+        window, e.g. for the traffic layer's delivery-continuity measure.
+        """
+        starts = [
+            spec.crash_at if isinstance(spec, CrashRestart) else spec.start
+            for spec in self.specs
+        ]
+        return min(starts) if starts else 0.0
+
     def crash_specs(self) -> Tuple[CrashRestart, ...]:
         """All crash/restart specs, in schedule order."""
         return tuple(s for s in self.specs if isinstance(s, CrashRestart))

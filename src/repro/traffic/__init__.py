@@ -1,0 +1,72 @@
+"""repro.traffic — open-workload traffic engine for sustained session load.
+
+The harness the ROADMAP's scale claims are measured against: open-loop
+client arrivals (Poisson / MMPP, diurnal and flash-crowd shaping),
+session models with lifetimes and request cadences, micro-batched routing
+through ``route_many``, hop-by-hop data-plane delivery that composes with
+``repro.faults``, and steady-state measurement (offered vs. completed
+load, latency quantiles, saturation finding).
+
+Quick start::
+
+    from repro.core import HFCFramework
+    from repro.traffic import Poisson, TrafficConfig, TrafficEngine
+
+    framework = HFCFramework.build(proxy_count=100, seed=7)
+    engine = TrafficEngine(
+        framework, TrafficConfig(arrival=Poisson(rate=0.02)), seed=1
+    )
+    report = engine.run()
+    print(report.completed_rate, report.latency_p95)
+"""
+
+from repro.traffic.arrivals import (
+    MMPP,
+    ArrivalProcess,
+    Diurnal,
+    FlashCrowd,
+    Poisson,
+    RateShape,
+)
+from repro.traffic.engine import (
+    SOJOURN_BUCKETS,
+    TrafficConfig,
+    TrafficEngine,
+    traffic_proxy,
+)
+from repro.traffic.measure import (
+    RateSweepResult,
+    RequestRecord,
+    SteadyStateCollector,
+    SteadyStateReport,
+    SweepPoint,
+    quantile,
+    rate_sweep,
+    summarize,
+)
+from repro.traffic.scenarios import TrafficFaultResult, run_traffic_under_faults
+from repro.traffic.sessions import SessionConfig
+
+__all__ = [
+    "MMPP",
+    "SOJOURN_BUCKETS",
+    "ArrivalProcess",
+    "Diurnal",
+    "FlashCrowd",
+    "Poisson",
+    "RateShape",
+    "RateSweepResult",
+    "RequestRecord",
+    "SessionConfig",
+    "SteadyStateCollector",
+    "SteadyStateReport",
+    "SweepPoint",
+    "TrafficConfig",
+    "TrafficEngine",
+    "TrafficFaultResult",
+    "quantile",
+    "rate_sweep",
+    "run_traffic_under_faults",
+    "summarize",
+    "traffic_proxy",
+]

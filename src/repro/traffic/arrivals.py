@@ -1,0 +1,243 @@
+"""Open-loop arrival processes for the traffic engine.
+
+Arrivals are generated one at a time on the simulated clock: the engine
+asks a sampler for the next arrival instant after the current one. Two
+base processes are provided:
+
+* :class:`Poisson` — homogeneous Poisson arrivals at a fixed rate
+  (sessions per simulated ms);
+* :class:`MMPP` — a Markov-modulated Poisson process: the rate switches
+  among a set of states with exponentially distributed dwell times, the
+  classic model for bursty session traffic.
+
+Either can be shaped by multiplicative time-varying modifiers
+(:class:`Diurnal` — a smooth day/night rate curve — and
+:class:`FlashCrowd` — a ramped burst multiplier). Shaped processes are
+simulated exactly by Lewis-Shedler thinning against the process's peak
+rate, so the generated point process follows the instantaneous rate
+``base_rate(t) * prod(shape.factor(t))``.
+
+Everything is deterministic given the ``random.Random`` handed to
+:meth:`ArrivalProcess.sampler`: the process specs themselves are frozen
+and hold no run state, so one config can drive many identical runs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.errors import TrafficError
+
+
+# -- rate shapes (multiplicative modifiers) ----------------------------------------
+
+
+class RateShape:
+    """A multiplicative, time-varying rate modifier."""
+
+    #: the largest factor the shape can produce (thinning bound)
+    peak: float = 1.0
+
+    def factor(self, t: float) -> float:
+        """The rate multiplier at simulated time *t* (in [0, peak])."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Diurnal(RateShape):
+    """A smooth day/night curve: the rate dips to ``trough`` once per period.
+
+    ``factor(t)`` traces a raised cosine from ``trough`` (at t=0, the
+    "night") up to 1.0 (at half a period, the "day") and back.
+    """
+
+    period: float = 20_000.0
+    trough: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise TrafficError("diurnal period must be positive")
+        if not 0.0 <= self.trough <= 1.0:
+            raise TrafficError("diurnal trough must be in [0, 1]")
+
+    @property
+    def peak(self) -> float:  # type: ignore[override]
+        return 1.0
+
+    def factor(self, t: float) -> float:
+        phase = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / self.period))
+        return self.trough + (1.0 - self.trough) * phase
+
+
+@dataclass(frozen=True)
+class FlashCrowd(RateShape):
+    """A ramped burst: the rate climbs to ``magnitude``× and decays back.
+
+    The factor ramps linearly from 1 to ``magnitude`` over ``ramp`` time
+    units starting at ``start``, holds, then ramps back down so the burst
+    ends at ``start + duration``.
+    """
+
+    start: float = 5_000.0
+    duration: float = 4_000.0
+    magnitude: float = 4.0
+    ramp: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0 or self.start < 0:
+            raise TrafficError("flash crowd needs start >= 0 and duration > 0")
+        if self.magnitude < 1.0:
+            raise TrafficError("flash crowd magnitude must be >= 1")
+        if not 0 < self.ramp * 2 <= self.duration:
+            raise TrafficError("flash crowd ramp must satisfy 0 < 2*ramp <= duration")
+
+    @property
+    def peak(self) -> float:  # type: ignore[override]
+        return self.magnitude
+
+    def factor(self, t: float) -> float:
+        end = self.start + self.duration
+        if t <= self.start or t >= end:
+            return 1.0
+        lift = self.magnitude - 1.0
+        if t < self.start + self.ramp:
+            return 1.0 + lift * (t - self.start) / self.ramp
+        if t > end - self.ramp:
+            return 1.0 + lift * (end - t) / self.ramp
+        return self.magnitude
+
+
+# -- arrival processes -------------------------------------------------------------
+
+
+class ArrivalSampler:
+    """Stateful per-run view of an arrival process (one per engine run)."""
+
+    def __init__(self, process: "ArrivalProcess", rng: random.Random) -> None:
+        self.process = process
+        self.rng = rng
+
+    def next_after(self, t: float) -> float:
+        """The next arrival instant strictly after *t* (monotone calls only)."""
+        raise NotImplementedError
+
+    # Lewis-Shedler thinning against the process peak; exact for any
+    # piecewise-continuous instantaneous rate bounded by ``peak``.
+    def _thinned(self, t: float, peak: float) -> float:
+        rng = self.rng
+        while True:
+            t += rng.expovariate(peak)
+            if rng.random() * peak <= self._rate_at(t):
+                return t
+
+    def _rate_at(self, t: float) -> float:
+        raise NotImplementedError
+
+
+class ArrivalProcess:
+    """Frozen spec of an arrival process; :meth:`sampler` yields run state."""
+
+    shapes: Tuple[RateShape, ...] = ()
+
+    def sampler(self, rng: random.Random) -> ArrivalSampler:
+        raise NotImplementedError
+
+    def _shape_factor(self, t: float) -> float:
+        factor = 1.0
+        for shape in self.shapes:
+            factor *= shape.factor(t)
+        return factor
+
+    def _shape_peak(self) -> float:
+        peak = 1.0
+        for shape in self.shapes:
+            peak *= shape.peak
+        return peak
+
+
+@dataclass(frozen=True)
+class Poisson(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` per ms (optionally shaped)."""
+
+    rate: float = 0.02
+    shapes: Tuple[RateShape, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise TrafficError("arrival rate must be positive")
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def sampler(self, rng: random.Random) -> ArrivalSampler:
+        return _PoissonSampler(self, rng)
+
+
+class _PoissonSampler(ArrivalSampler):
+    def next_after(self, t: float) -> float:
+        process: Poisson = self.process  # type: ignore[assignment]
+        if not process.shapes:
+            return t + self.rng.expovariate(process.rate)
+        return self._thinned(t, process.rate * process._shape_peak())
+
+    def _rate_at(self, t: float) -> float:
+        process: Poisson = self.process  # type: ignore[assignment]
+        return process.rate * process._shape_factor(t)
+
+
+@dataclass(frozen=True)
+class MMPP(ArrivalProcess):
+    """Markov-modulated Poisson arrivals.
+
+    The process dwells in one of ``rates``' states for an exponential time
+    with mean ``mean_dwell``, emitting Poisson arrivals at the state's
+    rate, then jumps to a uniformly random *other* state. ``rates`` may
+    contain zero entries (silent states).
+    """
+
+    rates: Tuple[float, ...] = (0.005, 0.05)
+    mean_dwell: float = 2_000.0
+    shapes: Tuple[RateShape, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.rates) < 2:
+            raise TrafficError("MMPP needs at least two rate states")
+        if any(r < 0 for r in self.rates) or max(self.rates) <= 0:
+            raise TrafficError("MMPP rates must be >= 0 with a positive maximum")
+        if self.mean_dwell <= 0:
+            raise TrafficError("MMPP mean_dwell must be positive")
+
+    def mean_rate(self) -> float:
+        return sum(self.rates) / len(self.rates)
+
+    def sampler(self, rng: random.Random) -> ArrivalSampler:
+        return _MMPPSampler(self, rng)
+
+
+class _MMPPSampler(ArrivalSampler):
+    """Thinning against the peak state rate, with a lazily advanced chain."""
+
+    def __init__(self, process: MMPP, rng: random.Random) -> None:
+        super().__init__(process, rng)
+        self._state = 0
+        self._state_until = rng.expovariate(1.0 / process.mean_dwell)
+
+    def next_after(self, t: float) -> float:
+        process: MMPP = self.process  # type: ignore[assignment]
+        return self._thinned(t, max(process.rates) * process._shape_peak())
+
+    def _advance_to(self, t: float) -> None:
+        process: MMPP = self.process  # type: ignore[assignment]
+        rng = self.rng
+        while self._state_until <= t:
+            hop = rng.randrange(len(process.rates) - 1)
+            self._state = (self._state + 1 + hop) % len(process.rates)
+            self._state_until += rng.expovariate(1.0 / process.mean_dwell)
+
+    def _rate_at(self, t: float) -> float:
+        process: MMPP = self.process  # type: ignore[assignment]
+        self._advance_to(t)
+        return process.rates[self._state] * process._shape_factor(t)

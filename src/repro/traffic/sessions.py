@@ -1,0 +1,89 @@
+"""Session models: how long a client stays and how often it asks.
+
+A *session* is one client's continuous engagement with the overlay: it
+arrives (see :mod:`repro.traffic.arrivals`), attaches to an access proxy,
+issues service requests at its cadence for its lifetime, and leaves. The
+request mix reuses the paper's Section 6.2 model via the shared helpers:
+4-10 service slots per request and uniform-or-Zipf service popularity
+(:class:`repro.util.sampling.PopularitySampler` — the same weighting code
+the batch workload uses).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.util.errors import TrafficError
+
+#: lifetime / cadence distributions understood by :class:`SessionConfig`
+DISTRIBUTIONS = ("exponential", "fixed", "lognormal")
+
+
+def _draw(distribution: str, mean: float, sigma: float, rng: random.Random) -> float:
+    if distribution == "fixed":
+        return mean
+    if distribution == "exponential":
+        return rng.expovariate(1.0 / mean)
+    # lognormal with the requested mean: mu = ln(mean) - sigma^2/2
+    return rng.lognormvariate(math.log(mean) - sigma * sigma / 2.0, sigma)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Per-session behaviour: lifetime, request cadence, request mix."""
+
+    #: mean session lifetime (simulated ms) and its distribution
+    mean_lifetime: float = 2_000.0
+    lifetime: str = "exponential"
+    lifetime_sigma: float = 0.5
+    #: mean gap between a session's consecutive requests, and its shape
+    mean_gap: float = 400.0
+    cadence: str = "exponential"
+    gap_sigma: float = 0.5
+    #: paper Section 6.2 request-length range (service slots per request)
+    min_length: int = 4
+    max_length: int = 10
+    #: fraction of requests carrying a non-linear (branching) SG
+    nonlinear_fraction: float = 0.0
+    #: service-popularity skew: "uniform" or "zipf" (shared sampler)
+    popularity: str = "zipf"
+    zipf_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mean_lifetime <= 0 or self.mean_gap <= 0:
+            raise TrafficError("mean_lifetime and mean_gap must be positive")
+        if self.lifetime not in DISTRIBUTIONS or self.cadence not in DISTRIBUTIONS:
+            raise TrafficError(
+                f"lifetime/cadence must be one of {DISTRIBUTIONS}, got "
+                f"{self.lifetime!r}/{self.cadence!r}"
+            )
+        if self.lifetime_sigma <= 0 or self.gap_sigma <= 0:
+            raise TrafficError("lognormal sigmas must be positive")
+        if not 1 <= self.min_length <= self.max_length:
+            raise TrafficError("invalid request length bounds")
+        if not 0.0 <= self.nonlinear_fraction <= 1.0:
+            raise TrafficError("nonlinear_fraction must be in [0, 1]")
+        if self.popularity not in ("uniform", "zipf"):
+            raise TrafficError("popularity must be 'uniform' or 'zipf'")
+        if self.zipf_exponent <= 0:
+            raise TrafficError("zipf_exponent must be positive")
+
+    # -- draws ---------------------------------------------------------------
+
+    def draw_lifetime(self, rng: random.Random) -> float:
+        """One session lifetime (ms)."""
+        return _draw(self.lifetime, self.mean_lifetime, self.lifetime_sigma, rng)
+
+    def draw_gap(self, rng: random.Random) -> float:
+        """One inter-request gap (ms) within a session."""
+        return _draw(self.cadence, self.mean_gap, self.gap_sigma, rng)
+
+    def draw_length(self, rng: random.Random) -> int:
+        """One request length (service slots), uniform in the paper's range."""
+        return rng.randint(self.min_length, self.max_length)
+
+    def mean_requests(self) -> float:
+        """Expected requests per session (1 at arrival + one per gap)."""
+        return 1.0 + self.mean_lifetime / self.mean_gap

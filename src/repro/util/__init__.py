@@ -11,8 +11,10 @@ from repro.util.errors import (
     ServiceModelError,
     StateError,
     TopologyError,
+    TrafficError,
 )
 from repro.util.rng import RngLike, ensure_rng, spawn
+from repro.util.sampling import PopularitySampler, zipf_weights
 
 __all__ = [
     "ClusteringError",
@@ -20,12 +22,15 @@ __all__ = [
     "GraphError",
     "MembershipError",
     "NoFeasiblePathError",
+    "PopularitySampler",
     "ReproError",
     "RngLike",
     "RoutingError",
     "ServiceModelError",
     "StateError",
     "TopologyError",
+    "TrafficError",
     "ensure_rng",
     "spawn",
+    "zipf_weights",
 ]

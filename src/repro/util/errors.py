@@ -69,6 +69,10 @@ class FaultError(ReproError):
     """A fault plan or fault injector was configured inconsistently."""
 
 
+class TrafficError(ReproError):
+    """A traffic-engine configuration or run was invalid."""
+
+
 class MembershipError(ReproError):
     """Dynamic membership operation was invalid (e.g. unknown proxy)."""
 
