@@ -2,10 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full bench-query traffic examples clean lint bench-smoke fault-matrix ci
+.PHONY: install test bench bench-full bench-query traffic examples clean lint bench-smoke fault-matrix ci coverage
 
+# Editable install with the consolidated dev dependency list — the same
+# `[project.optional-dependencies] dev` extra every CI job installs from.
 install:
-	$(PYTHON) setup.py develop
+	$(PYTHON) -m pip install -e '.[dev]'
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -52,16 +54,29 @@ bench-smoke:
 	cp BENCH_query.json /tmp/query_baseline.json
 	cp BENCH_resilience.json /tmp/resilience_baseline.json
 	cp BENCH_traffic.json /tmp/traffic_baseline.json
+	cp BENCH_snapshot.json /tmp/snapshot_baseline.json
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_construction.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_churn.py::test_incremental_churn_speedup --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_query.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_resilience.py::test_fault_matrix_recovery --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_traffic.py --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_snapshot.py --benchmark-only -q
 	$(PYTHON) scripts/check_bench_regression.py /tmp/bench_baseline.json BENCH_construction.json --tolerance 0.25
 	$(PYTHON) scripts/check_bench_regression.py /tmp/churn_baseline.json BENCH_churn.json --tolerance 0.25 --metric maintenance --metric state_bytes
 	$(PYTHON) scripts/check_bench_regression.py /tmp/query_baseline.json BENCH_query.json --tolerance 0.25 --metric batch_throughput --metric single_query
 	$(PYTHON) scripts/check_bench_regression.py /tmp/resilience_baseline.json BENCH_resilience.json --tolerance 0.25 --metric delivery_recovery --metric reconverge_margin
 	$(PYTHON) scripts/check_bench_regression.py /tmp/traffic_baseline.json BENCH_traffic.json --tolerance 0.25 --metric steady_throughput --metric p95_latency
+	$(PYTHON) scripts/check_bench_regression.py /tmp/snapshot_baseline.json BENCH_snapshot.json --tolerance 0.25 --metric warm_start
+
+# Tier-1 suite under coverage, enforcing the same floor as the CI tests job
+# (py3.12 leg); writes the HTML report to htmlcov/. Skipped with a notice
+# when pytest-cov is not installed (it is a dev-extra tool, not a runtime dep).
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+			--cov=repro --cov-report=term-missing:skip-covered \
+			--cov-report=html --cov-fail-under=70; \
+	else echo "pytest-cov not installed; skipping (CI runs it)"; fi
 
 # The CI fault-matrix smoke job: three seeded fault plans (loss burst,
 # partition heal, crash/restart) at small n under the convergence auditor.

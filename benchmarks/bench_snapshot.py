@@ -1,0 +1,145 @@
+"""Snapshot bench — versioned binary save/load vs a cold rebuild.
+
+The warm-start acceptance bench for the columnar snapshot layer. One
+framework is built cold (landmark Dijkstra, embedding, clustering,
+border election — the full construction pipeline), saved to the
+``.npz``-backed snapshot format, and loaded back. The restored overlay
+must be bit-identical to the source — same routing matrices, same query
+tables — so the save/load timings are like-for-like against the cold
+build they replace.
+
+Results land in ``BENCH_snapshot.json`` at the repo root, keyed by scale
+(``small`` for the CI smoke entry, ``full`` for the paper-scale n=1000
+entry); entries for the other scale are preserved on rewrite.
+``scripts/check_bench_regression.py --metric warm_start`` gates the
+dimensionless cold/load ratio against the committed baseline.
+``REPRO_SCALE=full`` runs the acceptance workload (n=1000, warm start
+>= 10x faster than the cold build).
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import HFCFramework
+from repro.experiments import ascii_table
+from repro.membership import DynamicOverlay
+from repro.persistence import load_snapshot, save_snapshot
+from repro.routing.batch import query_tables
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_snapshot.json"
+SEED = 7
+
+
+def _workload():
+    """(scale, proxies) for the current scale."""
+    full = os.environ.get("REPRO_SCALE", "small").strip().lower()
+    if full in ("full", "1", "1.0"):
+        return "full", 1000
+    return "small", 250
+
+
+def _merge_result(scale, entry):
+    """Rewrite BENCH_snapshot.json, preserving the other scales' entries."""
+    existing = {}
+    if RESULT_PATH.exists():
+        existing = json.loads(RESULT_PATH.read_text()).get("entries", {})
+    existing[scale] = entry
+    snapshot = {
+        "bench": "snapshot",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "entries": existing,
+    }
+    RESULT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+
+def test_snapshot_warm_start(benchmark, emit):
+    scale, proxy_count = _workload()
+
+    def run():
+        start = time.perf_counter()
+        framework = HFCFramework.build(proxy_count=proxy_count, seed=SEED)
+        cold_seconds = time.perf_counter() - start
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "overlay.npz")
+            save_times, load_times = [], []
+            snap = None
+            for _ in range(3):
+                start = time.perf_counter()
+                save_snapshot(framework, path)
+                save_times.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                snap = load_snapshot(path)
+                load_times.append(time.perf_counter() - start)
+            snapshot_bytes = os.path.getsize(path)
+
+        # Bit-exactness: the restored overlay is the built overlay.
+        route, true = framework.hfc.routing_matrices()
+        route2, true2 = snap.framework.hfc.routing_matrices()
+        assert np.array_equal(route, route2) and np.array_equal(true, true2)
+        cold_tables = query_tables(framework.hfc)
+        warm_tables = query_tables(snap.framework.hfc)
+        assert np.array_equal(cold_tables.ext, warm_tables.ext)
+        assert np.array_equal(cold_tables.d_border, warm_tables.d_border)
+
+        # The dynamic layer resumes from the snapshot at its saved version.
+        dyn = DynamicOverlay.from_snapshot(
+            snap, restructure_tolerance=None, track_quality=False
+        )
+        assert dyn.version == snap.version
+
+        return framework, cold_seconds, min(save_times), min(load_times), snapshot_bytes
+
+    framework, cold_seconds, save_seconds, load_seconds, snapshot_bytes = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+
+    warm_start = cold_seconds / load_seconds
+    save_load = cold_seconds / (save_seconds + load_seconds)
+    emit(
+        "snapshot",
+        f"Snapshot warm start — n={proxy_count}, "
+        f"{snapshot_bytes / 1024:.0f} KiB on disk\n"
+        + ascii_table(
+            ["metric", "seconds", "vs cold build"],
+            [
+                ["cold build", f"{cold_seconds:.3f}", "1.0x"],
+                ["save", f"{save_seconds:.4f}", "-"],
+                ["load (warm start)", f"{load_seconds:.4f}", f"{warm_start:.1f}x"],
+                ["save + load", f"{save_seconds + load_seconds:.4f}", f"{save_load:.1f}x"],
+            ],
+        ),
+    )
+
+    entry = {
+        "proxies": proxy_count,
+        "cold_build_seconds": round(cold_seconds, 4),
+        "save_seconds": round(save_seconds, 4),
+        "load_seconds": round(load_seconds, 4),
+        "snapshot_bytes": snapshot_bytes,
+        "speedup": {
+            "total": round(warm_start, 2),
+            "warm_start": round(warm_start, 2),
+            "save_load": round(save_load, 2),
+        },
+    }
+    _merge_result(scale, entry)
+
+    assert save_load > 1.0, (
+        f"save+load round trip slower than a cold build ({save_load:.2f}x)"
+    )
+    if scale == "full":
+        # The PR's acceptance bar: warm start >= 10x at n=1000.
+        assert warm_start >= 10.0, (
+            f"full-scale warm start only {warm_start:.2f}x faster (< 10x)"
+        )
+    else:
+        assert warm_start > 1.0, (
+            f"warm start slower than a cold build ({warm_start:.2f}x)"
+        )

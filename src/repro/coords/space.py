@@ -42,6 +42,40 @@ class CoordinateSpace:
         self._row: Dict[NodeId, int] = {}
 
     @classmethod
+    def from_stacked(
+        cls, nodes: Sequence[NodeId], stacked: np.ndarray
+    ) -> "CoordinateSpace":
+        """Zero-copy construction over an existing ``(n, k)`` float array.
+
+        *stacked* becomes the space's kernel-side storage directly — no
+        per-node tuple conversion and no re-stacking on the first
+        :meth:`array` call. This is how the columnar overlay state shares
+        one coordinate array with every space view it hands out: kernels
+        (``array``, ``distance_matrix``, ``closest_pair``) read views of
+        the caller's array. Scalar accessors (:meth:`coordinate`,
+        :meth:`distance`) go through a tuple table materialised once from
+        the same floats, so values are bit-identical either way. The
+        caller must not mutate *stacked* afterwards.
+        """
+        arr = np.asarray(stacked, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] != len(nodes):
+            raise EmbeddingError(
+                f"stacked coordinates must be ({len(nodes)}, k), got {arr.shape}"
+            )
+        if arr.shape[0] == 0 or arr.shape[1] == 0:
+            raise EmbeddingError("coordinate space must contain at least one node")
+        space = cls.__new__(cls)
+        space._dim = int(arr.shape[1])
+        space._coords = {
+            node: tuple(row) for node, row in zip(nodes, arr.tolist())
+        }
+        if len(space._coords) != len(nodes):
+            raise EmbeddingError("duplicate node ids in stacked coordinates")
+        space._stacked = arr
+        space._row = {node: i for i, node in enumerate(nodes)}
+        return space
+
+    @classmethod
     def from_trusted(
         cls, coordinates: Dict[NodeId, Tuple[float, ...]]
     ) -> "CoordinateSpace":

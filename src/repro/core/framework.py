@@ -43,6 +43,7 @@ from repro.services.catalog import ServiceCatalog, scaled_catalog
 from repro.services.graph import linear_graph
 from repro.services.placement import aggregate_capability, install_services
 from repro.services.request import ServiceRequest
+from repro.state.columnar import ColumnarOverlayState, attach_columnar
 from repro.state.overhead import (
     mean_coordinates_overhead,
     mean_service_overhead,
@@ -164,6 +165,17 @@ class HFCFramework:
                     clustering,
                     engine="vectorized" if vectorized else "reference",
                 )
+            with tracer.span("construct.columnar"):
+                attach_columnar(
+                    hfc,
+                    ColumnarOverlayState.from_parts(
+                        proxies=list(proxies),
+                        space=space,
+                        clustering=clustering,
+                        borders=hfc.borders,
+                        placement=placement,
+                    ),
+                )
         return cls(
             config=config,
             physical=physical,
@@ -174,6 +186,20 @@ class HFCFramework:
             clustering=clustering,
             hfc=hfc,
         )
+
+    @property
+    def columnar(self) -> ColumnarOverlayState:
+        """The struct-of-arrays overlay state attached to :attr:`hfc`.
+
+        Frameworks assembled outside :meth:`build` (e.g. restored by
+        ``repro.persistence``) get theirs built and attached on first
+        access, so every framework exposes the shared columnar view.
+        """
+        state = getattr(self.hfc, "columnar", None)
+        if state is None:
+            state = ColumnarOverlayState.from_framework(self)
+            attach_columnar(self.hfc, state)
+        return state
 
     # -- routers -------------------------------------------------------------------
 

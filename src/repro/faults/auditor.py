@@ -267,6 +267,7 @@ class ConvergenceAuditor:
         counters["faults.duplicated"] = registry.total("faults.duplicated")
         counters["faults.restarts"] = registry.total("faults.restarts")
         counters["protocol.restarts"] = registry.total("protocol.restarts")
+        counters["protocol.restarts.warm"] = registry.total("protocol.restarts.warm")
         counters.update(
             {f"delta.{k}": v for k, v in protocol.delta_stats().items()}
         )
@@ -336,7 +337,12 @@ def run_fault_scenario(
     a :class:`~repro.faults.plan.CrashRestart` with ``wipe_state=True``
     reboots the proxy with empty soft state (and, if ``services_after`` is
     set, a changed service placement) — the scenario that flushes out
-    stale-stream bugs.
+    stale-stream bugs. Specs with ``warm_restart=True`` instead get their
+    state plane captured at the crash instant (the crash hook) and
+    restored on restart via
+    :meth:`~repro.state.protocol.StateDistributionProtocol.restore_state`
+    — the snapshot-backed recovery path, where learned tables survive and
+    only the emitter incarnation advances.
     """
     protocol = StateDistributionProtocol(
         framework.hfc,
@@ -346,13 +352,25 @@ def run_fault_scenario(
         aggregate_period=aggregate_period,
     )
 
+    snapshots: Dict[Any, Dict[str, Any]] = {}
+
+    def on_crash(spec: Any) -> None:
+        if getattr(spec, "warm_restart", False):
+            snapshots[spec.proxy] = protocol.snapshot_proxy(spec.proxy)
+
     def on_restart(spec: Any) -> None:
-        if spec.wipe_state:
+        if getattr(spec, "warm_restart", False) and spec.proxy in snapshots:
+            protocol.restore_state(
+                spec.proxy, snapshots.pop(spec.proxy), services=spec.services_after
+            )
+        elif spec.wipe_state:
             protocol.wipe_state(spec.proxy, services=spec.services_after)
         elif spec.services_after is not None:
             protocol.update_local_services(spec.proxy, spec.services_after)
 
-    injector = FaultInjector(plan).install(protocol.sim, on_restart=on_restart)
+    injector = FaultInjector(plan).install(
+        protocol.sim, on_restart=on_restart, on_crash=on_crash
+    )
     auditor = ConvergenceAuditor(protocol, injector, k_periods=k_periods)
     return auditor.audit(
         framework, probes=probes, check_interval=check_interval

@@ -43,6 +43,11 @@ from repro.util.rng import ensure_rng
 #: callback fired when a crashed proxy restarts; receives the spec
 RestartHook = Callable[[CrashRestart], None]
 
+#: callback fired at the instant a proxy crashes; receives the spec. The
+#: scenario harness uses it to capture a warm-restart snapshot — the last
+#: state the proxy persisted before going down
+CrashHook = Callable[[CrashRestart], None]
+
 #: maps a simulator address to the proxy a fault spec would name (identity
 #: by default); lets auxiliary processes colocated with a proxy — e.g. the
 #: traffic engine's ``("traffic", proxy)`` relays — share the proxy's fate
@@ -65,6 +70,7 @@ class FaultInjector:
         self._duplicates = [s for s in plan.specs if isinstance(s, Duplicate)]
         self._reorders = [s for s in plan.specs if isinstance(s, Reorder)]
         self._on_restart: Optional[RestartHook] = None
+        self._on_crash: Optional[CrashHook] = None
         self._resolve: Optional[AddressResolver] = None
 
     # -- lifecycle ---------------------------------------------------------------
@@ -74,14 +80,18 @@ class FaultInjector:
         sim: Simulator,
         *,
         on_restart: Optional[RestartHook] = None,
+        on_crash: Optional[CrashHook] = None,
         resolve: Optional[AddressResolver] = None,
     ) -> "FaultInjector":
         """Hook this injector into *sim* and schedule crash/restart events.
 
-        *resolve* maps message addresses to the proxy ids fault specs name
-        (default: identity). Layers that register auxiliary processes under
-        namespaced addresses (the traffic engine's per-proxy relays) pass
-        their resolver so crash/partition/loss matching sees the proxy.
+        *on_crash* fires at each crash instant (before any post-crash
+        message is intercepted) — the warm-restart path captures the
+        proxy's state plane there. *resolve* maps message addresses to the
+        proxy ids fault specs name (default: identity). Layers that
+        register auxiliary processes under namespaced addresses (the
+        traffic engine's per-proxy relays) pass their resolver so
+        crash/partition/loss matching sees the proxy.
         """
         if self.sim is not None:
             raise FaultError("injector is already installed")
@@ -89,6 +99,7 @@ class FaultInjector:
             raise FaultError("simulator already has a delivery interceptor")
         self.sim = sim
         self._on_restart = on_restart
+        self._on_crash = on_crash
         self._resolve = resolve
         sim.interceptor = self.intercept
         registry = sim.telemetry.registry
@@ -114,6 +125,8 @@ class FaultInjector:
         assert self.sim is not None
         self._trace("crash", proxy=spec.proxy)
         self.sim.telemetry.events.record("faults.crash", proxy=spec.proxy)
+        if self._on_crash is not None:
+            self._on_crash(spec)
 
     def _restart(self, spec: CrashRestart) -> None:
         assert self.sim is not None

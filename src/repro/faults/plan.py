@@ -105,6 +105,13 @@ class CrashRestart:
     and ``services_after`` optionally changes the service set it comes
     back with — the case that historically exposed permanently-stale
     receivers.
+
+    ``warm_restart=True`` models a node with stable storage: the crash
+    hook captures the proxy's state plane (its SCT tables and delta
+    streams) and the restart hook restores it via
+    :meth:`~repro.state.protocol.StateDistributionProtocol.restore_state`
+    instead of wiping — learned knowledge survives, only the emitter's
+    incarnation advances. Takes precedence over ``wipe_state``.
     """
 
     proxy: ProxyId
@@ -112,12 +119,15 @@ class CrashRestart:
     restart_at: Optional[float] = None
     wipe_state: bool = True
     services_after: Optional[FrozenSet[ServiceName]] = None
+    warm_restart: bool = False
 
     def __post_init__(self) -> None:
         if self.crash_at < 0:
             raise FaultError(f"CrashRestart: crash_at must be >= 0, got {self.crash_at}")
         if self.restart_at is not None and self.restart_at <= self.crash_at:
             raise FaultError("CrashRestart: restart_at must be after crash_at")
+        if self.warm_restart and self.restart_at is None:
+            raise FaultError("CrashRestart: warm_restart requires a restart_at")
 
     def down_at(self, t: float) -> bool:
         """Whether the proxy is down at time *t*."""

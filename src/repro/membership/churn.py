@@ -103,9 +103,19 @@ class DynamicOverlay:
         if self.telemetry is None:
             self.telemetry = get_telemetry()
         fw = self.framework
-        self._coords: Dict[ProxyId, Tuple[float, ...]] = {
-            p: fw.space.coordinate(p) for p in fw.overlay.proxies
+        # Columnar coordinate storage: one growing (capacity, k) float64
+        # array plus proxy -> row and a free-row list. Blocks and space
+        # views gather rows from this array, so a churn session maintains
+        # one coordinate buffer instead of a dict of per-proxy tuples
+        # (same floats either way — fw.space hands out exact float64).
+        proxies = list(fw.overlay.proxies)
+        self._coord_arr: np.ndarray = np.ascontiguousarray(
+            fw.space.array(proxies), dtype=float
+        )
+        self._coord_row: Dict[ProxyId, int] = {
+            p: i for i, p in enumerate(proxies)
         }
+        self._free_rows: List[int] = []
         self._placement: Dict[ProxyId, FrozenSet[ServiceName]] = dict(
             fw.overlay.placement
         )
@@ -139,7 +149,11 @@ class DynamicOverlay:
     def space(self) -> CoordinateSpace:
         """The current coordinate space (materialised lazily)."""
         if self._space_view is None:
-            self._space_view = CoordinateSpace.from_trusted(dict(self._coords))
+            proxies = list(self._labels)
+            rows = [self._coord_row[p] for p in proxies]
+            self._space_view = CoordinateSpace.from_stacked(
+                proxies, self._coord_arr[rows]
+            )
         return self._space_view
 
     @property
@@ -176,6 +190,40 @@ class DynamicOverlay:
                 borders=dict(self._borders),
             )
         return self._hfc_view
+
+    def columnar(self):
+        """The current overlay state as one struct-of-arrays snapshot.
+
+        Builds a :class:`~repro.state.columnar.ColumnarOverlayState` from
+        the live membership state (stamped with :attr:`version`), which is
+        what ``repro.persistence.save_snapshot`` serialises — a consistent
+        point-in-time capture, decoupled from later churn.
+        """
+        from repro.state.columnar import ColumnarOverlayState
+
+        proxies = list(self._labels)
+        return ColumnarOverlayState.from_parts(
+            proxies=proxies,
+            space=self.space,
+            clustering=self.clustering,
+            borders=self._borders,
+            placement={p: self._placement[p] for p in proxies},
+            version=self.version,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot, **kwargs) -> "DynamicOverlay":
+        """Warm-start a dynamic overlay from a loaded snapshot.
+
+        *snapshot* is a ``repro.persistence.OverlaySnapshot``; the restored
+        framework skips re-embedding and re-clustering (the dominant cost
+        of a cold build), and the overlay resumes at the snapshot's
+        :class:`~repro.core.versioning.OverlayVersion` so version-driven
+        consumers (router caches, capability feeds) keep their ordering.
+        """
+        dyn = cls(snapshot.framework, **kwargs)
+        dyn.version = snapshot.version
+        return dyn
 
     # -- mutations --------------------------------------------------------------
 
@@ -216,7 +264,9 @@ class DynamicOverlay:
             else tuple(float(x) for x in coords)
         )
         cluster_id = self._labels[self._nearest_member(point)]
-        self._coords[router] = point
+        row = self._free_rows.pop() if self._free_rows else self._alloc_row()
+        self._coord_arr[row] = point
+        self._coord_row[router] = row
         self._placement[router] = frozenset(services)
         self._labels[router] = cluster_id
         if self.incremental:
@@ -245,7 +295,7 @@ class DynamicOverlay:
         if len(self._labels) <= 2:
             raise MembershipError("cannot shrink the overlay below 2 proxies")
         cluster_id = self._labels.pop(proxy)
-        del self._coords[proxy]
+        self._free_rows.append(self._coord_row.pop(proxy))
         del self._placement[proxy]
         if self.incremental:
             members = [p for p in self._clusters[cluster_id] if p != proxy]
@@ -304,9 +354,20 @@ class DynamicOverlay:
 
     # -- internals ---------------------------------------------------------------
 
+    def _alloc_row(self) -> int:
+        """A fresh row in the coordinate array, doubling capacity when full."""
+        top = len(self._coord_row) + len(self._free_rows)
+        if top == self._coord_arr.shape[0]:
+            grown = np.empty(
+                (max(8, 2 * top), self._coord_arr.shape[1]), dtype=float
+            )
+            grown[:top] = self._coord_arr
+            self._coord_arr = grown
+        return top
+
     def _block(self, members: Sequence[ProxyId]) -> np.ndarray:
         """The coordinate block of *members* (same values as space.array)."""
-        return np.array([self._coords[p] for p in members], dtype=float)
+        return self._coord_arr[[self._coord_row[p] for p in members]]
 
     def _adopt_labels(self, labels: Dict[ProxyId, int]) -> None:
         """Install *labels*, compacting cluster ids to 0..k-1 (sorted order)."""

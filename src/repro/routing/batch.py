@@ -136,6 +136,16 @@ def query_tables(hfc: Any) -> QueryTables:
     cached = getattr(hfc, "_query_tables_cache", None)
     if cached is not None:
         return cached
+    columnar = getattr(hfc, "columnar", None)
+    if columnar is not None:
+        # Topologies carrying a columnar overlay state (framework-built
+        # hfc, snapshot-restored views) share that state's cached tables
+        # instead of walking the object graph again; the columnar builder
+        # makes the same scalar math.dist calls in the same order, so the
+        # tables are bit-identical either way.
+        tables = columnar.query_tables()
+        hfc._query_tables_cache = tables
+        return tables
     k = hfc.cluster_count
     ext = np.zeros((k, k), dtype=float)
     border_row = np.full((k, k), -1, dtype=np.int64)

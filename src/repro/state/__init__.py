@@ -1,5 +1,6 @@
 """State tables, the distribution protocol, and overhead accounting."""
 
+from repro.state.columnar import ColumnarOverlayState, attach_columnar
 from repro.state.delta import Announcement, DeltaAssembler, DeltaEmitter
 from repro.state.overhead import (
     coordinates_node_states,
@@ -18,6 +19,8 @@ from repro.state.tables import ProxyState, ServiceCapabilityTable
 
 __all__ = [
     "Announcement",
+    "ColumnarOverlayState",
+    "attach_columnar",
     "DeltaAssembler",
     "DeltaEmitter",
     "ProtocolCapabilityFeed",

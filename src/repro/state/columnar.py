@@ -1,0 +1,372 @@
+"""Columnar overlay state: one struct-of-arrays view shared by every kernel.
+
+The vectorized kernels grown in PRs 2/4 (construction, batched routing)
+and the incremental membership layer (PR 3) each used to materialise their
+own dense views from the object graph: the coordinate space re-stacked its
+tuple table per materialisation, ``query_tables`` walked ``Clustering`` /
+``borders`` objects, and the churn layer kept a private dict-of-tuples
+coordinate store. This module replaces those private views with a single
+numpy struct-of-arrays snapshot of the overlay:
+
+* ``proxies``   — ``(n,)`` int64, the overlay proxy list in its canonical
+  order (row ``r`` of every other per-proxy column describes proxy
+  ``proxies[r]``);
+* ``coords``    — ``(n, k)`` float64 coordinates. **This array is the
+  storage** of every :class:`~repro.coords.space.CoordinateSpace` view the
+  state hands out (:meth:`CoordinateSpace.from_stacked`), so routing
+  providers, border selection, and the CSP relaxation all read views of
+  the same buffer — zero copies between layers;
+* ``labels``    — ``(n,)`` int64 cluster membership;
+* ``cluster_ptr`` / ``cluster_members`` — CSR encoding of the per-cluster
+  member lists, **preserving the source clustering's member order** (that
+  order is load-bearing: border selection breaks argmin ties toward the
+  earliest member index);
+* ``border_matrix`` — ``(C, C)`` int64; entry ``(i, j)`` is the *row* of
+  the border proxy inside cluster ``i`` facing cluster ``j`` (``-1`` on
+  the diagonal) — the SCT/border table in dense form;
+* ``service_names`` + ``placement_ptr`` / ``placement_codes`` — CSR
+  service placement over a sorted service-name vocabulary (codes sorted
+  within each row, so the reconstructed frozensets are exact).
+
+``epoch`` / ``step`` record the :class:`~repro.core.versioning.
+OverlayVersion` the snapshot was taken at, which is how warm starts
+(``repro.persistence`` snapshots, :meth:`DynamicOverlay.from_snapshot`)
+resume version-driven consumers instead of resetting them.
+
+The state is immutable by convention: mutating layers (churn) build a new
+one via :meth:`from_parts` when asked (``DynamicOverlay.columnar()``);
+derived views and the query tables are cached on the instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.mstcluster import Clustering
+from repro.coords.space import CoordinateSpace
+from repro.core.versioning import OverlayVersion
+from repro.overlay.network import ProxyId
+from repro.services.catalog import ServiceName
+from repro.util.errors import StateError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (routing imports state)
+    from repro.overlay.hfc import HFCTopology
+    from repro.overlay.network import OverlayNetwork
+    from repro.routing.batch import QueryTables
+
+
+def attach_columnar(hfc: Any, state: "ColumnarOverlayState") -> None:
+    """Attach *state* to *hfc* so shared-view consumers can find it.
+
+    ``repro.routing.batch.query_tables`` consults the attachment and
+    reuses the state's cached tables instead of rebuilding dense views
+    from the object graph; the attachment survives for the lifetime of
+    the topology object (topology mutations materialise new objects, the
+    same convention the ``_query_tables_cache`` relies on).
+    """
+    hfc.columnar = state
+
+
+@dataclass
+class ColumnarOverlayState:
+    """A struct-of-arrays snapshot of one consistent overlay state."""
+
+    proxies: np.ndarray          # (n,) int64
+    coords: np.ndarray           # (n, k) float64 — shared with space views
+    labels: np.ndarray           # (n,) int64
+    cluster_ptr: np.ndarray      # (C+1,) int64
+    cluster_members: np.ndarray  # (n,) int64 row indices, cluster-major
+    border_matrix: np.ndarray    # (C, C) int64 row indices, -1 diagonal
+    service_names: List[str]     # service code -> name (sorted vocabulary)
+    placement_ptr: np.ndarray    # (n+1,) int64
+    placement_codes: np.ndarray  # (nnz,) int64, sorted within each row
+    epoch: int = 0
+    step: int = 0
+    _space: Optional[CoordinateSpace] = field(default=None, init=False, repr=False)
+    _clustering: Optional[Clustering] = field(default=None, init=False, repr=False)
+    _tables: Optional["QueryTables"] = field(default=None, init=False, repr=False)
+
+    # -- shape -------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of proxies n."""
+        return int(self.proxies.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Coordinate dimension k."""
+        return int(self.coords.shape[1])
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of clusters C."""
+        return int(self.border_matrix.shape[0])
+
+    @property
+    def version(self) -> OverlayVersion:
+        """The overlay version this state was captured at."""
+        return OverlayVersion(self.epoch, self.step)
+
+    def validate(self) -> None:
+        """Cheap structural invariants; raises :class:`StateError`."""
+        n, c = self.size, self.cluster_count
+        if self.coords.shape != (n, self.dimension) or self.labels.shape != (n,):
+            raise StateError("columnar state: per-proxy column shapes disagree")
+        if self.cluster_ptr.shape != (c + 1,) or self.cluster_members.shape != (n,):
+            raise StateError("columnar state: cluster CSR shapes disagree")
+        if self.cluster_ptr[0] != 0 or self.cluster_ptr[-1] != n:
+            raise StateError("columnar state: cluster_ptr does not span all rows")
+        if self.placement_ptr.shape != (n + 1,):
+            raise StateError("columnar state: placement_ptr shape disagrees")
+        if c and (int(self.labels.min()) < 0 or int(self.labels.max()) >= c):
+            raise StateError("columnar state: label outside [0, C)")
+        if len(self.placement_codes) and int(self.placement_codes.max()) >= len(
+            self.service_names
+        ):
+            raise StateError("columnar state: placement code outside vocabulary")
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_parts(
+        cls,
+        *,
+        proxies: List[ProxyId],
+        space: CoordinateSpace,
+        clustering: Clustering,
+        borders: Mapping[Tuple[int, int], ProxyId],
+        placement: Mapping[ProxyId, FrozenSet[ServiceName]],
+        version: Optional[OverlayVersion] = None,
+    ) -> "ColumnarOverlayState":
+        """Build the columnar snapshot of one consistent overlay state.
+
+        Row order follows *proxies* (the overlay's canonical proxy list);
+        per-cluster member order follows *clustering* exactly.
+        """
+        n = len(proxies)
+        row = {p: r for r, p in enumerate(proxies)}
+        if len(row) != n:
+            raise StateError("duplicate proxy ids")
+        proxy_arr = np.array(proxies, dtype=np.int64)
+        coords = np.ascontiguousarray(space.array(proxies), dtype=float)
+        labels = np.array([clustering.cluster_of(p) for p in proxies], dtype=np.int64)
+        c = clustering.cluster_count
+        ptr = np.zeros(c + 1, dtype=np.int64)
+        members = np.empty(n, dtype=np.int64)
+        at = 0
+        for cid in range(c):
+            cluster = clustering.members(cid)
+            ptr[cid] = at
+            for p in cluster:
+                if p not in row or at >= n:
+                    raise StateError(
+                        "clustering does not cover the proxy list exactly"
+                    )
+                members[at] = row[p]
+                at += 1
+        ptr[c] = at
+        if at != n:
+            raise StateError("clustering does not cover the proxy list exactly")
+        border_matrix = np.full((c, c), -1, dtype=np.int64)
+        for (i, j), p in borders.items():
+            border_matrix[i, j] = row[p]
+        vocab = sorted({s for services in placement.values() for s in services})
+        code = {s: i for i, s in enumerate(vocab)}
+        placement_ptr = np.zeros(n + 1, dtype=np.int64)
+        codes: List[int] = []
+        for r, p in enumerate(proxies):
+            codes.extend(sorted(code[s] for s in placement[p]))
+            placement_ptr[r + 1] = len(codes)
+        version = version or OverlayVersion()
+        state = cls(
+            proxies=proxy_arr,
+            coords=coords,
+            labels=labels,
+            cluster_ptr=ptr,
+            cluster_members=members,
+            border_matrix=border_matrix,
+            service_names=vocab,
+            placement_ptr=placement_ptr,
+            placement_codes=np.array(codes, dtype=np.int64),
+            epoch=version.epoch,
+            step=version.step,
+        )
+        state.validate()
+        return state
+
+    @classmethod
+    def from_framework(cls, framework: Any) -> "ColumnarOverlayState":
+        """The columnar snapshot of a built :class:`HFCFramework`."""
+        return cls.from_parts(
+            proxies=list(framework.overlay.proxies),
+            space=framework.space,
+            clustering=framework.clustering,
+            borders=framework.hfc.borders,
+            placement=framework.overlay.placement,
+        )
+
+    # -- scalar accessors ----------------------------------------------------------
+
+    def row_of(self, proxy: ProxyId) -> int:
+        """Row index of *proxy* (O(n) scan; views cache their own maps)."""
+        hits = np.nonzero(self.proxies == proxy)[0]
+        if not len(hits):
+            raise StateError(f"unknown proxy {proxy!r}")
+        return int(hits[0])
+
+    def members(self, cluster_id: int) -> List[ProxyId]:
+        """Member proxies of *cluster_id*, in the source clustering's order."""
+        if not 0 <= cluster_id < self.cluster_count:
+            raise StateError(f"no cluster {cluster_id}")
+        rows = self.cluster_members[
+            int(self.cluster_ptr[cluster_id]) : int(self.cluster_ptr[cluster_id + 1])
+        ]
+        return [int(p) for p in self.proxies[rows]]
+
+    def cluster_block(self, cluster_id: int) -> np.ndarray:
+        """Coordinate block of one cluster (gathered from the shared array)."""
+        rows = self.cluster_members[
+            int(self.cluster_ptr[cluster_id]) : int(self.cluster_ptr[cluster_id + 1])
+        ]
+        return self.coords[rows]
+
+    def services_of_row(self, r: int) -> FrozenSet[ServiceName]:
+        """Service set of row *r*, decoded from the placement CSR."""
+        codes = self.placement_codes[
+            int(self.placement_ptr[r]) : int(self.placement_ptr[r + 1])
+        ]
+        return frozenset(self.service_names[int(cd)] for cd in codes)
+
+    def borders_dict(self) -> Dict[Tuple[int, int], ProxyId]:
+        """The ``(i, j) -> border proxy`` dict form of ``border_matrix``."""
+        out: Dict[Tuple[int, int], ProxyId] = {}
+        c = self.cluster_count
+        for i in range(c):
+            for j in range(c):
+                r = int(self.border_matrix[i, j])
+                if r >= 0:
+                    out[(i, j)] = int(self.proxies[r])
+        return out
+
+    def placement_dict(self) -> Dict[ProxyId, FrozenSet[ServiceName]]:
+        """The per-proxy service placement, decoded."""
+        return {
+            int(self.proxies[r]): self.services_of_row(r) for r in range(self.size)
+        }
+
+    # -- derived views (cached, zero-copy where the layout allows) -----------------
+
+    def space_view(self) -> CoordinateSpace:
+        """A coordinate space whose storage **is** :attr:`coords`."""
+        if self._space is None:
+            self._space = CoordinateSpace.from_stacked(
+                [int(p) for p in self.proxies], self.coords
+            )
+        return self._space
+
+    def clustering_view(self) -> Clustering:
+        """The :class:`Clustering` these columns encode (member order kept)."""
+        if self._clustering is None:
+            clusters = [self.members(cid) for cid in range(self.cluster_count)]
+            labels = {
+                int(p): int(cid) for p, cid in zip(self.proxies, self.labels)
+            }
+            self._clustering = Clustering(clusters=clusters, labels=labels)
+        return self._clustering
+
+    def overlay_view(self, physical: Any) -> "OverlayNetwork":
+        """An :class:`OverlayNetwork` over *physical* sharing the space view."""
+        from repro.overlay.network import OverlayNetwork
+
+        return OverlayNetwork(
+            physical=physical,
+            proxies=[int(p) for p in self.proxies],
+            placement=self.placement_dict(),
+            space=self.space_view(),
+        )
+
+    def hfc_view(self, physical: Any) -> "HFCTopology":
+        """The full HFC topology view, with this state attached.
+
+        The returned topology shares the columnar coordinate array through
+        its space, carries ``columnar = self`` (so
+        :func:`repro.routing.batch.query_tables` reuses
+        :meth:`query_tables` instead of walking the object graph), and is
+        exactly what a scratch ``build_hfc`` over the same inputs yields —
+        the equivalence suite asserts identical routing.
+        """
+        from repro.overlay.hfc import HFCTopology
+
+        hfc = HFCTopology(
+            overlay=self.overlay_view(physical),
+            clustering=self.clustering_view(),
+            space=self.space_view(),
+            borders=self.borders_dict(),
+        )
+        attach_columnar(hfc, self)
+        return hfc
+
+    def query_tables(self) -> "QueryTables":
+        """The dense CSP relaxation tables, built from the columns.
+
+        Shape, code assignment order, and every float are identical to
+        :func:`repro.routing.batch.query_tables` over the equivalent
+        object graph: entries are computed with the same scalar
+        ``math.dist`` element calls on the same coordinates, discovered in
+        the same ``(i, j)`` scan order — so the vectorized relaxation's
+        argmin tie-breaks cannot diverge. Cached on the state, which is
+        what makes the tables *shared*: every hfc/router materialised from
+        this state sees one table instance.
+        """
+        if self._tables is not None:
+            return self._tables
+        from repro.routing.batch import QueryTables
+
+        k = self.cluster_count
+        coord_tuples = [tuple(c) for c in self.coords.tolist()]
+        ext = np.zeros((k, k), dtype=float)
+        border_row = np.full((k, k), -1, dtype=np.int64)
+        border_list: List[ProxyId] = []
+        border_code: Dict[ProxyId, int] = {}
+        code_row: List[int] = []
+        cluster_codes: List[List[int]] = [[] for _ in range(k)]
+        for i in range(k):
+            for j in range(k):
+                if i == j:
+                    continue
+                r = int(self.border_matrix[i, j])
+                proxy = int(self.proxies[r])
+                code = border_code.get(proxy)
+                if code is None:
+                    code = len(border_list)
+                    border_code[proxy] = code
+                    border_list.append(proxy)
+                    code_row.append(r)
+                    cluster_codes[i].append(code)
+                border_row[i, j] = code
+                ext[i, j] = math.dist(
+                    coord_tuples[r], coord_tuples[int(self.border_matrix[j, i])]
+                )
+        nb = len(border_list)
+        d_border = np.zeros((nb, nb), dtype=float)
+        for codes in cluster_codes:
+            for a in codes:
+                for b in codes:
+                    if a != b:
+                        d_border[a, b] = math.dist(
+                            coord_tuples[code_row[a]], coord_tuples[code_row[b]]
+                        )
+        self._tables = QueryTables(
+            cluster_count=k,
+            ext=ext,
+            border_row=border_row,
+            border_list=border_list,
+            border_code=border_code,
+            d_border=d_border,
+        )
+        return self._tables

@@ -450,6 +450,101 @@ class StateDistributionProtocol:
             agent.assembler = DeltaAssembler()
         self.sim.telemetry.registry.counter("protocol.restarts").inc()
 
+    def snapshot_proxy(self, proxy: ProxyId) -> Dict[str, object]:
+        """A JSON-ready capture of everything *proxy* knows right now.
+
+        Covers the proxy's SCT tables (with exact revisions and
+        timestamps) and, in delta mode, its emitter history and assembler
+        streams. Feed the result to :meth:`restore_state` for a warm
+        restart, or to ``repro.persistence.save_snapshot`` via
+        :meth:`snapshot_state_plane` to persist it.
+        """
+        from repro.state.serialize import (
+            assembler_to_dict,
+            emitter_to_dict,
+            proxy_state_to_dict,
+        )
+
+        agent = self._agent_of.get(proxy)
+        if agent is None:
+            raise StateError(f"unknown proxy {proxy!r}")
+        snapshot: Dict[str, object] = {
+            "state": proxy_state_to_dict(self.states[proxy]),
+        }
+        if agent.emitter is not None and agent.assembler is not None:
+            snapshot["emitter"] = emitter_to_dict(agent.emitter)
+            snapshot["assembler"] = assembler_to_dict(agent.assembler)
+        return snapshot
+
+    def snapshot_state_plane(self) -> Dict[str, object]:
+        """Per-proxy :meth:`snapshot_proxy` captures for every proxy.
+
+        The shape ``repro.persistence.save_snapshot`` accepts as its
+        ``state_plane`` argument (keys are proxy ids as strings — the
+        capture is JSON all the way down).
+        """
+        return {
+            str(proxy): self.snapshot_proxy(proxy)
+            for proxy in self.hfc.overlay.proxies
+        }
+
+    def restore_state(
+        self, proxy: ProxyId, snapshot: Dict[str, object], *, services=None
+    ) -> None:
+        """Warm-restart *proxy* from a :meth:`snapshot_proxy` capture.
+
+        The warm path restores the learned SCT tables and the assembler's
+        reassembled streams — routing-relevant knowledge survives the
+        crash — then refreshes the proxy's *own* entries against current
+        ground truth (pass *services* if it came back with a different
+        service set). The emitter does **not** resume mid-stream: its
+        incarnation bumps past both the saved and the current one, so
+        peers that saw pre-crash announcements accept the fresh streams
+        (same invariant as :meth:`wipe_state`); announcements produced
+        while the proxy was down appear to it as gaps and re-anchor at
+        the next full refresh.
+        """
+        from repro.state.serialize import (
+            assembler_from_dict,
+            proxy_state_from_dict,
+        )
+
+        agent = self._agent_of.get(proxy)
+        if agent is None:
+            raise StateError(f"unknown proxy {proxy!r}")
+        placement = self.hfc.overlay.placement
+        if services is not None:
+            placement[proxy] = frozenset(services)
+        now = self.sim.now
+        state = proxy_state_from_dict(snapshot["state"])  # type: ignore[arg-type]
+        if state.proxy != proxy:
+            raise StateError(
+                f"snapshot belongs to proxy {state.proxy!r}, not {proxy!r}"
+            )
+        state.cluster_id = self.hfc.cluster_of(proxy)
+        state.sct_p.update(proxy, placement[proxy], now=now)
+        state.sct_c.update(
+            state.cluster_id, state.aggregate_own_cluster(), now=now
+        )
+        self.states[proxy] = state
+        agent.state = state
+        if agent.emitter is not None:
+            saved = snapshot.get("emitter") or {}
+            saved_incarnation = int(saved.get("incarnation", 0))  # type: ignore[union-attr]
+            agent.emitter = DeltaEmitter(
+                refresh_every=agent.emitter.refresh_every,
+                incarnation=max(saved_incarnation, agent.emitter.incarnation) + 1,
+            )
+            assembler_payload = snapshot.get("assembler")
+            agent.assembler = (
+                assembler_from_dict(assembler_payload)  # type: ignore[arg-type]
+                if assembler_payload is not None
+                else DeltaAssembler()
+            )
+        registry = self.sim.telemetry.registry
+        registry.counter("protocol.restarts").inc()
+        registry.counter("protocol.restarts.warm").inc()
+
     @property
     def refresh_period(self) -> float:
         """Simulated time between full-snapshot refreshes of the aggregate

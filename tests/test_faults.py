@@ -67,6 +67,10 @@ class TestFaultPlan:
         assert spec.down_at(10.0) and spec.down_at(19.9)
         assert not spec.down_at(20.0)
 
+    def test_warm_restart_requires_a_restart(self):
+        with pytest.raises(FaultError):
+            CrashRestart(proxy="a", crash_at=10.0, warm_restart=True)
+
     def test_last_fault_end(self):
         plan = FaultPlan(
             seed=1,
@@ -275,6 +279,27 @@ class TestScenarios:
         # the restart changed ground truth, so reconvergence proves peers
         # accepted the restarted stream rather than serving frozen state
         assert framework.hfc.overlay.placement[victim] != before
+
+    def test_warm_restart_recovers_without_wipe(self):
+        framework = HFCFramework.build(proxy_count=48, seed=3)
+        victim = framework.hfc.overlay.proxies[0]
+        plan = FaultPlan(
+            seed=5,
+            specs=(
+                CrashRestart(
+                    proxy=victim,
+                    crash_at=2000.0,
+                    restart_at=4500.0,
+                    warm_restart=True,
+                ),
+            ),
+        )
+        result = run_fault_scenario(framework, plan, k_periods=3)
+        assert result.passed
+        # the warm path restores instead of wiping: the warm counter fires
+        # and ground truth is unchanged (no services_after, no wipe)
+        assert result.counters["protocol.restarts"] == 1
+        assert result.counters["protocol.restarts.warm"] == 1
 
     def test_trace_bit_identical_across_runs(self, fault_framework):
         plan = loss_burst_plan(fault_framework.hfc)
