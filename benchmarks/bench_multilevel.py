@@ -1,70 +1,159 @@
-"""Extension bench E5 — a third hierarchy level: state vs path quality.
+"""Hierarchy-depth bench — state vs path quality across recursive levels.
 
-Extends Fig 9's argument one level up: grouping clusters into
-super-clusters shrinks per-proxy state again, at a path-quality price.
-The bench quantifies both sides at the two larger environment sizes.
+Extends Fig 9's argument recursively: every extra hierarchy level shrinks
+per-proxy state again, at a path-quality price. This bench sweeps depth
+L = 2 (the paper's bi-level HFC), 3, and 4 over one overlay and measures
+all three sides per level: build time of the level stack, the mean
+per-proxy state footprint under the level-generic accounting
+(:meth:`HierarchyLevels.mean_state_bytes`), and the mean routed true
+delay over one shared request set (batched ``route_many`` at every
+depth, averaged over the requests feasible at all depths, so the delay
+column is like-for-like).
+
+Results land in ``BENCH_hierarchy.json`` at the repo root, keyed by scale
+(``small`` for the CI smoke entry, ``full`` for the paper-scale n=1000
+entry); entries for the other scale are preserved on rewrite.
+``scripts/check_bench_regression.py --metric state_l3 --metric delay_l3``
+gates the dimensionless L2/L3 state ratio (must stay > 1: the third
+level keeps shrinking state) and the L2/L3 delay ratio (path-quality
+cost of the third level must not regress) against the committed
+baseline. ``REPRO_SCALE=full`` runs the acceptance workload (n=1000,
+where per-proxy state must *strictly* decrease from L=2 to L=3).
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 
-from repro.experiments import (
-    WorkloadConfig,
-    ascii_table,
-    build_environment,
-    generate_requests,
-    scaled_table1,
-)
-from repro.hierarchy import ThreeLevelRouter, build_multilevel
+from repro.core import HFCFramework
+from repro.experiments import ascii_table
+from repro.hierarchy import RecursiveRouter, build_levels
 from repro.routing import HierarchicalRouter
-from repro.state import coordinates_node_states, service_node_states
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_hierarchy.json"
+SEED = 7
+DEPTHS = (2, 3, 4)
+REQUESTS = 60
 
 
-def test_third_level_state_vs_paths(benchmark, emit):
-    specs = scaled_table1()[-2:]
+def _workload():
+    """(scale, proxies) for the current scale."""
+    full = os.environ.get("REPRO_SCALE", "small").strip().lower()
+    if full in ("full", "1", "1.0"):
+        return "full", 1000
+    return "small", 250
+
+
+def _merge_result(scale, entry):
+    """Rewrite BENCH_hierarchy.json, preserving the other scales' entries."""
+    existing = {}
+    if RESULT_PATH.exists():
+        existing = json.loads(RESULT_PATH.read_text()).get("entries", {})
+    existing[scale] = entry
+    snapshot = {
+        "bench": "hierarchy",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "entries": existing,
+    }
+    RESULT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+
+def test_hierarchy_depth_sweep(benchmark, emit):
+    scale, proxy_count = _workload()
 
     def run():
-        rows = []
-        for i, spec in enumerate(specs):
-            env = build_environment(spec, seed=901 + i)
-            fw = env.framework
-            ml = build_multilevel(fw.hfc)
-            requests = generate_requests(
-                env, WorkloadConfig(request_count=60), seed=902 + i
+        framework = HFCFramework.build(proxy_count=proxy_count, seed=SEED)
+        requests = [
+            framework.random_request(seed=1000 + i) for i in range(REQUESTS)
+        ]
+        per_depth = {}
+        for depth in DEPTHS:
+            start = time.perf_counter()
+            hierarchy = build_levels(framework.hfc, depth)
+            build_seconds = time.perf_counter() - start
+            router = (
+                HierarchicalRouter(framework.hfc)
+                if depth == 2
+                else RecursiveRouter(hierarchy)
             )
-            two_router = HierarchicalRouter(fw.hfc)
-            three_router = ThreeLevelRouter(ml)
-            d2 = np.mean(
-                [two_router.route(r).true_delay(fw.overlay) for r in requests]
-            )
-            d3 = np.mean(
-                [three_router.route(r).true_delay(fw.overlay) for r in requests]
-            )
-            c2 = np.mean(list(coordinates_node_states(fw.hfc).values()))
-            c3 = np.mean(list(ml.coordinates_node_states().values()))
-            s2 = np.mean(list(service_node_states(fw.hfc).values()))
-            s3 = np.mean(list(ml.service_node_states().values()))
-            rows.append(
-                [
-                    spec.proxies,
-                    fw.clustering.cluster_count,
-                    ml.super_count,
-                    float(c2), float(c3),
-                    float(s2), float(s3),
-                    float(d2), float(d3),
-                ]
-            )
-        return rows
+            result = router.route_many_detailed(requests)
+            per_depth[depth] = {
+                "hierarchy": hierarchy,
+                "build_seconds": build_seconds,
+                "state_bytes": hierarchy.mean_state_bytes(),
+                "paths": result.paths,
+            }
+        # like-for-like delay: only requests feasible at every depth
+        feasible = [
+            i
+            for i in range(REQUESTS)
+            if all(per_depth[d]["paths"][i] is not None for d in DEPTHS)
+        ]
+        for depth in DEPTHS:
+            delays = [
+                per_depth[depth]["paths"][i].true_delay(framework.overlay)
+                for i in feasible
+            ]
+            per_depth[depth]["mean_delay"] = float(np.mean(delays))
+        return framework, per_depth, len(feasible)
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    framework, per_depth, feasible_count = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    rows = []
+    for depth in DEPTHS:
+        stats = per_depth[depth]
+        hierarchy = stats["hierarchy"]
+        rows.append(
+            [
+                depth,
+                hierarchy.top_count,
+                f"{stats['build_seconds']:.4f}",
+                f"{stats['state_bytes']:.0f}",
+                f"{stats['mean_delay']:.1f}",
+            ]
+        )
     emit(
         "multilevel",
-        "E5 — third hierarchy level: per-proxy state vs path quality\n"
+        f"Recursive hierarchy depth sweep — n={proxy_count}, "
+        f"{feasible_count}/{REQUESTS} requests feasible at every depth\n"
         + ascii_table(
-            ["proxies", "clusters", "supers",
-             "coord 2L", "coord 3L", "svc 2L", "svc 3L",
-             "delay 2L", "delay 3L"],
+            ["depth", "top groups", "build s", "state B/proxy", "mean delay"],
             rows,
         ),
     )
-    for row in rows:
-        assert row[4] <= row[3] + 1e-9  # the third level never inflates state
+
+    b2 = per_depth[2]["state_bytes"]
+    b3 = per_depth[3]["state_bytes"]
+    b4 = per_depth[4]["state_bytes"]
+    d2 = per_depth[2]["mean_delay"]
+    d3 = per_depth[3]["mean_delay"]
+    entry = {
+        "proxies": proxy_count,
+        "feasible_requests": feasible_count,
+        "levels": {
+            str(depth): {
+                "top_groups": per_depth[depth]["hierarchy"].top_count,
+                "build_seconds": round(per_depth[depth]["build_seconds"], 4),
+                "state_bytes": round(per_depth[depth]["state_bytes"], 1),
+                "mean_delay": round(per_depth[depth]["mean_delay"], 2),
+            }
+            for depth in DEPTHS
+        },
+        "speedup": {
+            "total": round(b2 / b3, 3),
+            "state_l3": round(b2 / b3, 3),
+            "state_l4": round(b2 / b4, 3),
+            "delay_l3": round(d2 / d3, 3),
+        },
+    }
+    _merge_result(scale, entry)
+
+    # the third level must keep shrinking per-proxy state — strictly
+    assert b3 < b2, f"L=3 state {b3:.0f} B not below L=2 state {b2:.0f} B"
+    assert b4 <= b3 + 1e-9, f"L=4 state {b4:.0f} B above L=3 {b3:.0f} B"

@@ -2,11 +2,15 @@
 """CI fault-matrix smoke: seeded fault plans under the convergence auditor.
 
 Builds a small framework, runs the named plans from
-``repro.faults.standard_fault_matrix`` (default: the three CI smoke plans
-— loss burst, partition that heals, crash/restart with state wipe), and
-fails (exit 1) if any auditor check fails. Optionally writes each
-scenario's JSONL audit trail (fault trace + check verdicts) for artifact
-upload.
+``repro.faults.standard_fault_matrix`` plus the hierarchy-aware
+``super_border_crash`` scenario (crash the first top-level border proxy
+of a depth-3 recursive hierarchy), and fails (exit 1) if any auditor
+check fails. The super-border scenario additionally audits **per-level
+aggregate reconvergence**: after the run, the depth-3 hierarchy's
+``(level, group)`` capability aggregates must round-trip exactly through
+the delta announcement machinery — i.e. every level of the stack agrees
+with post-fault ground truth. Optionally writes each scenario's JSONL
+audit trail (fault trace + check verdicts) for artifact upload.
 
 Usage (the CI fault-matrix job / ``make fault-matrix``)::
 
@@ -21,9 +25,59 @@ import sys
 from pathlib import Path
 
 from repro.core import HFCFramework
-from repro.faults import run_fault_scenario, standard_fault_matrix
+from repro.faults import (
+    run_fault_scenario,
+    standard_fault_matrix,
+    super_border_crash_plan,
+)
 
-SMOKE_PLANS = ("loss_burst", "partition_heal", "crash_restart")
+SMOKE_PLANS = (
+    "loss_burst",
+    "partition_heal",
+    "crash_restart",
+    "super_border_crash",
+)
+
+#: plans that get the per-level aggregate reconvergence audit appended
+HIERARCHY_PLANS = ("super_border_crash",)
+
+#: hierarchy depth the super-border scenario and its audit build
+HIERARCHY_DEPTH = 3
+
+
+def per_level_reconvergence_check(framework, depth: int = HIERARCHY_DEPTH):
+    """``(passed, detail)``: do per-level aggregates round-trip exactly?
+
+    Builds a depth-*depth* hierarchy over the post-scenario topology
+    (whose placement reflects the victim's rotated service set), announces
+    every ``(level, group)`` aggregate through a fresh delta emitter, and
+    reassembles it — the reconstructed view must equal ground truth at
+    every level of the stack.
+    """
+    from repro.hierarchy.levels import build_levels
+    from repro.state.delta import (
+        DeltaAssembler,
+        DeltaEmitter,
+        announce_aggregates,
+        assemble_aggregates,
+    )
+
+    hierarchy = build_levels(framework.hfc, depth)
+    truth = hierarchy.aggregates()
+    announcements = announce_aggregates(DeltaEmitter(), truth)
+    view = assemble_aggregates(DeltaAssembler(), announcements)
+    if view == truth:
+        per_level: dict = {}
+        for (level, _), _services in truth.items():
+            per_level[level] = per_level.get(level, 0) + 1
+        counts = ", ".join(
+            f"L{level}:{count}" for level, count in sorted(per_level.items())
+        )
+        return True, f"{len(truth)} aggregates reconverged ({counts})"
+    bad = sorted(
+        key for key in set(truth) | set(view) if truth.get(key) != view.get(key)
+    )
+    return False, f"{len(bad)} stale aggregate stream(s): {bad[:5]}"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,7 +104,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     framework = HFCFramework.build(proxy_count=args.proxies, seed=args.seed)
-    matrix = standard_fault_matrix(framework.hfc)
+    matrix = dict(standard_fault_matrix(framework.hfc))
+    matrix["super_border_crash"] = super_border_crash_plan(
+        framework.hfc, depth=HIERARCHY_DEPTH
+    )
     if args.plans.strip().lower() != "all":
         wanted = [name.strip() for name in args.plans.split(",") if name.strip()]
         unknown = sorted(set(wanted) - set(matrix))
@@ -65,12 +122,18 @@ def main(argv: list[str] | None = None) -> int:
         for check in result.checks:
             mark = "ok " if check.passed else "FAIL"
             print(f"    [{mark}] {check.name}: {check.detail}")
+        plan_failed = not result.passed
+        if name in HIERARCHY_PLANS:
+            passed, detail = per_level_reconvergence_check(framework)
+            mark = "ok " if passed else "FAIL"
+            print(f"    [{mark}] per_level_aggregates: {detail}")
+            plan_failed = plan_failed or not passed
         if args.audit_dir is not None:
             args.audit_dir.mkdir(parents=True, exist_ok=True)
             path = args.audit_dir / f"{name}.audit.jsonl"
             entries = result.dump_jsonl(str(path))
             print(f"    audit trail: {path} ({entries} entries)")
-        if not result.passed:
+        if plan_failed:
             failures.append(name)
 
     if failures:

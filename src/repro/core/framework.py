@@ -201,6 +201,74 @@ class HFCFramework:
             attach_columnar(self.hfc, state)
         return state
 
+    # -- recursive hierarchy -------------------------------------------------------
+
+    def build_hierarchy(
+        self,
+        levels: int = 3,
+        *,
+        method: str = "kcenter",
+        seed: RngLike = 0,
+        group_counts=None,
+        reuse: bool = True,
+    ):
+        """Build (or restore) a depth-*levels* recursive hierarchy.
+
+        The single entry point of the level-generic hierarchy:
+        ``levels=2`` wraps the bi-level HFC untouched, every extra level
+        re-clusters the centroids of the level below (greedy k-center by
+        default, ``method="mst"`` for Zahn's machinery) and selects
+        borders by the closest-pair rule one level up. The resulting
+        upper-level CSR arrays are attached to :attr:`columnar`, so
+        snapshots round-trip the full stack and per-level query tables
+        are shared zero-copy with every router built from it.
+
+        When *reuse* is true and the columnar state already carries a
+        stack of the right depth (e.g. a framework restored from a
+        snapshot), that stack is materialised directly — no
+        re-clustering or border re-selection runs.
+        """
+        from repro.hierarchy.levels import build_levels, levels_from_columnar
+
+        state = self.columnar
+        if reuse and len(state.levels) == levels - 2:
+            return levels_from_columnar(state, self.hfc) if state.levels else (
+                build_levels(self.hfc, 2)
+            )
+        hierarchy = build_levels(
+            self.hfc,
+            levels,
+            method=method,
+            seed=seed,
+            group_counts=group_counts,
+        )
+        state.attach_levels(hierarchy.levels)
+        hierarchy.columnar = state
+        return hierarchy
+
+    def hierarchy_router(
+        self,
+        levels: int = 3,
+        method: str = "backtrack",
+        *,
+        hierarchy=None,
+        **kwargs,
+    ):
+        """A router over a depth-*levels* recursive hierarchy.
+
+        ``levels=2`` is exactly :meth:`hierarchical_router`; deeper
+        hierarchies route with the recursive divide-and-conquer router.
+        Pass a pre-built *hierarchy* to skip construction (``levels`` is
+        then ignored).
+        """
+        from repro.hierarchy.levels import RecursiveRouter
+
+        if hierarchy is None:
+            hierarchy = self.build_hierarchy(levels)
+        if hierarchy.depth == 2:
+            return self.hierarchical_router(method=method, **kwargs)
+        return RecursiveRouter(hierarchy, method=method, **kwargs)
+
     # -- routers -------------------------------------------------------------------
 
     def hierarchical_router(

@@ -43,6 +43,7 @@ from repro.faults.scenarios import (
     partition_heal_plan,
     reorder_duplicate_plan,
     standard_fault_matrix,
+    super_border_crash_plan,
 )
 
 __all__ = [
@@ -63,4 +64,5 @@ __all__ = [
     "reorder_duplicate_plan",
     "run_fault_scenario",
     "standard_fault_matrix",
+    "super_border_crash_plan",
 ]

@@ -138,6 +138,48 @@ def reorder_duplicate_plan(
     )
 
 
+def super_border_crash_plan(
+    hfc,
+    *,
+    seed: int = 43,
+    crash_at: float = 1500.0,
+    downtime: float = 2500.0,
+    depth: int = 3,
+) -> FaultPlan:
+    """Crash a *super-border* proxy of a depth-``depth`` hierarchy.
+
+    The victim is the first top-level border proxy of a recursive
+    hierarchy built over *hfc* (deterministic for a given build) — the
+    proxy whose state matters at every level: it serves its cluster, its
+    cluster's borders, and the top-level crossing. Like
+    :func:`crash_restart_plan` it restarts with a rotated service set, so
+    per-level aggregate reconvergence is observable, not vacuous.
+
+    Deliberately *not* part of :func:`standard_fault_matrix`: the
+    resilience bench iterates that matrix, and its gated baselines predate
+    this plan. The fault-matrix script wires it in explicitly.
+    """
+    from repro.hierarchy.levels import build_levels
+
+    hierarchy = build_levels(hfc, depth)
+    top_borders = hierarchy.all_top_borders()
+    victim = top_borders[0] if top_borders else _border_victim(hfc)
+    services = sorted(hfc.overlay.placement[victim])
+    rng = ensure_rng(seed)
+    after: FrozenSet[str] = (
+        frozenset(services[:-1]) if len(services) > 1
+        else frozenset(rng.sample(sorted(_all_services(hfc) - set(services)), 1))
+    )
+    spec = CrashRestart(
+        proxy=victim,
+        crash_at=crash_at,
+        restart_at=crash_at + downtime,
+        wipe_state=True,
+        services_after=after,
+    )
+    return FaultPlan(seed=seed, specs=(spec,))
+
+
 def standard_fault_matrix(hfc, *, seed: int = 7) -> Dict[str, FaultPlan]:
     """The named seeded plans every resilience run exercises."""
     return {

@@ -28,13 +28,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from repro.cluster.mstcluster import Clustering, ClusteringConfig, cluster_nodes
-from repro.coords.space import CoordinateSpace
+from repro.cluster.mstcluster import Clustering, ClusteringConfig
 from repro.overlay.hfc import HFCTopology
 from repro.overlay.network import ProxyId
-from repro.routing.flat import _merge_consecutive
 from repro.routing.hierarchical import HierarchicalRouter
-from repro.routing.path import Hop, ServicePath
+from repro.routing.path import Hop, ServicePath, merge_consecutive_hops
 from repro.services.catalog import ServiceName
 from repro.services.placement import aggregate_capability
 from repro.util.errors import TopologyError
@@ -165,43 +163,40 @@ def build_multilevel(
     terms) or by the same Zahn MST method used at level 1
     (``method="mst"`` — proximity-faithful but often lopsided, since the
     centroid cloud rarely has strong gaps).
+
+    Construction is a thin shim over the level-generic
+    :func:`repro.hierarchy.levels.build_levels` at ``depth=3`` — there is
+    a single implementation of centroid means, re-clustering, and
+    super-border selection; this wrapper only converts the CSR level
+    arrays back into the dict surface of :class:`MultiLevelHFC`.
     """
-    centroids = {
-        cid: tuple(hfc.space.array(hfc.members(cid)).mean(axis=0))
-        for cid in range(hfc.cluster_count)
+    from repro.hierarchy.levels import build_levels
+
+    hierarchy = build_levels(
+        hfc,
+        3,
+        method=method,
+        group_counts=[super_count],
+        seed=seed,
+        config=config,
+    )
+    level = hierarchy.levels[0]
+    super_of_cluster: Dict[ClusterId, SuperId] = {
+        cid: int(level.parent[cid]) for cid in range(hfc.cluster_count)
     }
-    centroid_space = CoordinateSpace(centroids)
-    if method == "mst":
-        config = config or ClusteringConfig(min_cluster_size=1)
-        super_clustering = cluster_nodes(centroid_space, config=config)
-    elif method == "kcenter":
-        from repro.cluster.kcenter import kcenter_cluster
-
-        if super_count is None:
-            super_count = max(1, int(round(hfc.cluster_count ** 0.5)))
-        super_clustering = kcenter_cluster(
-            centroid_space, super_count, seed=seed
-        )
-    else:
-        raise TopologyError(f"method must be 'kcenter' or 'mst', got {method!r}")
-
-    super_of_cluster: Dict[ClusterId, SuperId] = dict(super_clustering.labels)
     cluster_members: Dict[SuperId, List[ClusterId]] = {
-        sid: sorted(members)
-        for sid, members in enumerate(super_clustering.clusters)
+        sid: list(level.members_of(sid)) for sid in range(level.count)
     }
-
     super_borders: Dict[Tuple[SuperId, SuperId], ProxyId] = {}
-    k = len(cluster_members)
-    member_proxies = {
-        sid: [p for cid in cluster_members[sid] for p in hfc.members(cid)]
-        for sid in cluster_members
-    }
+    k = level.count
     for i in range(k):
         for j in range(i + 1, k):
-            a, b, _ = hfc.space.closest_pair(member_proxies[i], member_proxies[j])
-            super_borders[(i, j)] = a
-            super_borders[(j, i)] = b
+            super_borders[(i, j)] = hierarchy.row_proxies[
+                int(level.border_matrix[i, j])
+            ]
+            super_borders[(j, i)] = hierarchy.row_proxies[
+                int(level.border_matrix[j, i])
+            ]
     return MultiLevelHFC(
         hfc=hfc,
         super_of_cluster=super_of_cluster,
@@ -301,7 +296,7 @@ class ThreeLevelRouter(HierarchicalRouter):
             hops = multilevel.sub_hfc(child.cluster).expand_hop(
                 child.source_proxy, child.destination_proxy
             )
-            merged = _merge_consecutive([Hop(proxy=p) for p in hops])
+            merged = merge_consecutive_hops([Hop(proxy=p) for p in hops])
             return ServicePath(hops=tuple(merged))
         sg = request.service_graph
         sub_sg = ServiceGraph(

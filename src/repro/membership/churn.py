@@ -122,6 +122,12 @@ class DynamicOverlay:
         self._cluster_config: ClusteringConfig = fw.config.clustering
         self.version = OverlayVersion()
         self.notifier = ChangeNotifier()
+        #: mutable recursive-hierarchy spec (None until attach_hierarchy):
+        #: per upper level {"groups", "borders", "centroids"}, maintained
+        #: incrementally along the churned spine
+        self._hier_levels: Optional[List[Dict]] = None
+        self._hier_meta: Optional[Dict] = None
+        self._hier_base_centroids: Optional[np.ndarray] = None
         self._adopt_labels(dict(fw.clustering.labels))
         self._refresh_borders()
         self._invalidate_views()
@@ -209,7 +215,237 @@ class DynamicOverlay:
             borders=self._borders,
             placement={p: self._placement[p] for p in proxies},
             version=self.version,
+            levels=(
+                list(self.hierarchy().levels)
+                if self._hier_levels is not None
+                else None
+            ),
         )
+
+    # -- recursive hierarchy ------------------------------------------------------
+
+    def attach_hierarchy(
+        self,
+        levels: int = 3,
+        *,
+        method: str = "kcenter",
+        seed=0,
+        group_counts=None,
+    ):
+        """Build a depth-*levels* recursive hierarchy and keep it patched.
+
+        After attaching, every incremental join/leave patches the level
+        stack along the affected spine only: the churned cluster's
+        centroid, its ancestor groups' centroids, and the border pairs
+        involving those ancestors at each level are re-selected — the
+        upper-level *assignment* stays sticky, exactly like cluster
+        membership does for the base level. :meth:`restructure` (and the
+        legacy ``incremental=False`` mode) re-derives the assignment from
+        scratch instead. The patched stack is bit-identical to
+        ``build_levels(self.hfc, depth, assignments=<current groups>)``
+        (the equivalence suite asserts this).
+        """
+        from repro.hierarchy.levels import build_levels
+
+        hierarchy = build_levels(
+            self.hfc, levels, method=method, seed=seed, group_counts=group_counts
+        )
+        self._hier_meta = {
+            "depth": levels,
+            "method": method,
+            "seed": seed,
+            "group_counts": group_counts,
+        }
+        self._adopt_hierarchy(hierarchy)
+        return self.hierarchy()
+
+    def hierarchy(self):
+        """The current recursive hierarchy (materialised lazily).
+
+        Raises :class:`MembershipError` until :meth:`attach_hierarchy` has
+        run. The returned object snapshots the patched spec — centroids
+        copied, borders re-coded against the current proxy rows — so it
+        stays consistent if churn continues afterwards.
+        """
+        if self._hier_levels is None:
+            raise MembershipError("no hierarchy attached; call attach_hierarchy")
+        if self._hierarchy_view is None:
+            from repro.hierarchy.levels import HierarchyLevels
+            from repro.state.columnar import HierarchyLevel
+
+            row_proxies = list(self._labels)
+            row_of = {p: r for r, p in enumerate(row_proxies)}
+            out: List = []
+            count_below = len(self._clusters)
+            for spec in self._hier_levels:
+                groups = spec["groups"]
+                count = len(groups)
+                parent = np.full(count_below, -1, dtype=np.int64)
+                ptr = np.zeros(count + 1, dtype=np.int64)
+                members: List[int] = []
+                for gid, units in enumerate(groups):
+                    for u in units:
+                        parent[u] = gid
+                    members.extend(units)
+                    ptr[gid + 1] = len(members)
+                border = np.full((count, count), -1, dtype=np.int64)
+                for (i, j), proxy in spec["borders"].items():
+                    border[i, j] = row_of[proxy]
+                out.append(
+                    HierarchyLevel(
+                        parent=parent,
+                        ptr=ptr,
+                        members=np.array(members, dtype=np.int64),
+                        border_matrix=border,
+                        centroids=spec["centroids"].copy(),
+                    )
+                )
+                count_below = count
+            self._hierarchy_view = HierarchyLevels(
+                hfc=self.hfc, levels=out, row_proxies=row_proxies
+            )
+            self._hierarchy_view.validate()
+        return self._hierarchy_view
+
+    def _adopt_hierarchy(self, hierarchy) -> None:
+        """Install *hierarchy* as the mutable spec the patch paths maintain."""
+        self._hier_base_centroids = np.array(
+            [block.mean(axis=0) for block in self._blocks], dtype=float
+        )
+        spec_levels: List[Dict] = []
+        for level in hierarchy.levels:
+            groups = [list(level.members_of(g)) for g in range(level.count)]
+            borders: Dict[Tuple[int, int], ProxyId] = {}
+            for i in range(level.count):
+                for j in range(level.count):
+                    if i != j and level.border_matrix[i, j] >= 0:
+                        borders[(i, j)] = hierarchy.row_proxies[
+                            int(level.border_matrix[i, j])
+                        ]
+            spec_levels.append(
+                {
+                    "groups": groups,
+                    "borders": borders,
+                    "centroids": level.centroids.copy(),
+                }
+            )
+        self._hier_levels = spec_levels
+        self._hierarchy_view = None
+
+    def _rebuild_hierarchy(self) -> None:
+        """Re-derive the hierarchy assignment from scratch (restructure path)."""
+        if self._hier_levels is None:
+            return
+        from repro.hierarchy.levels import build_levels
+
+        self._invalidate_views()  # the base state just changed wholesale
+        meta = self._hier_meta or {}
+        hierarchy = build_levels(
+            self.hfc,
+            meta.get("depth", 2 + len(self._hier_levels)),
+            method=meta.get("method", "kcenter"),
+            seed=meta.get("seed", 0),
+            group_counts=meta.get("group_counts"),
+        )
+        self._adopt_hierarchy(hierarchy)
+
+    def _patch_hierarchy_spine(self, cluster_id: int) -> None:
+        """Re-centroid + re-border the level stack along one cluster's spine.
+
+        The only hierarchy work an incremental join/leave pays: the
+        churned cluster's centroid, then per upper level the one ancestor
+        group's centroid and its border pairs against every sibling group
+        (same build-order proxy lists and the same blocked closest-pair
+        kernel as a cold build, so the result is bit-identical to
+        rebuilding under the current assignment).
+        """
+        if self._hier_levels is None:
+            return
+        self._hier_base_centroids[cluster_id] = self._blocks[cluster_id].mean(
+            axis=0
+        )
+        gid = next(
+            g
+            for g, units in enumerate(self._hier_levels[0]["groups"])
+            if cluster_id in units
+        )
+        self._hier_patch_from(0, gid)
+
+    def _hier_patch_from(self, start: int, gid: int) -> None:
+        """Patch centroids/borders from level *start* (group *gid*) upward."""
+        unit_proxies: List[List[ProxyId]] = [list(c) for c in self._clusters]
+        unit_centroids = self._hier_base_centroids
+        g: Optional[int] = None
+        for idx, spec in enumerate(self._hier_levels):
+            groups = spec["groups"]
+            group_proxies = [
+                [p for u in units for p in unit_proxies[u]] for units in groups
+            ]
+            if idx == start:
+                g = gid
+            elif idx > start:
+                prev = g
+                g = next(
+                    gg for gg, units in enumerate(groups) if prev in units
+                )
+            if g is not None:
+                spec["centroids"][g] = unit_centroids[groups[g]].mean(axis=0)
+                for other in range(len(groups)):
+                    if other == g:
+                        continue
+                    i, j = (g, other) if g < other else (other, g)
+                    a, b = closest_cross_pair(
+                        self._block(group_proxies[i]),
+                        self._block(group_proxies[j]),
+                    )
+                    spec["borders"][(i, j)] = group_proxies[i][a]
+                    spec["borders"][(j, i)] = group_proxies[j][b]
+            unit_proxies = group_proxies
+            unit_centroids = spec["centroids"]
+        self._hierarchy_view = None
+
+    def _hier_drop_cluster(self, cluster_id: int) -> None:
+        """A base cluster vanished: unthread it from the level stack.
+
+        Mirrors the base level's compaction: the unit is removed from its
+        parent group and higher unit ids shift down; an emptied group is
+        itself removed the same way one level up (cascading). The
+        surviving ancestor spine is then re-centroided and re-bordered.
+        """
+        if self._hier_levels is None:
+            return
+        self._hier_base_centroids = np.delete(
+            self._hier_base_centroids, cluster_id, axis=0
+        )
+        removed = cluster_id
+        for idx, spec in enumerate(self._hier_levels):
+            groups = spec["groups"]
+            gid = next(
+                g for g, units in enumerate(groups) if removed in units
+            )
+            for g in range(len(groups)):
+                groups[g] = [
+                    u - (1 if u > removed else 0)
+                    for u in groups[g]
+                    if u != removed
+                ]
+            if groups[gid]:
+                self._hier_patch_from(idx, gid)
+                return
+            del groups[gid]
+            spec["centroids"] = np.delete(spec["centroids"], gid, axis=0)
+            spec["borders"] = {
+                (
+                    i - (1 if i > gid else 0),
+                    j - (1 if j > gid else 0),
+                ): proxy
+                for (i, j), proxy in spec["borders"].items()
+                if i != gid and j != gid
+            }
+            removed = gid
+        # the whole spine vanished through the top: the remaining groups'
+        # populations are untouched, so nothing is left to re-select
+        self._hierarchy_view = None
 
     @classmethod
     def from_snapshot(cls, snapshot, **kwargs) -> "DynamicOverlay":
@@ -277,6 +513,7 @@ class DynamicOverlay:
             patch_borders_for_cluster(
                 self._borders, cluster_id, self._clusters, self._blocks
             )
+            self._patch_hierarchy_spine(cluster_id)
         else:
             self._full_rebuild()
         self._finish_event("join", router)
@@ -305,6 +542,7 @@ class DynamicOverlay:
                 patch_borders_for_cluster(
                     self._borders, cluster_id, self._clusters, self._blocks
                 )
+                self._patch_hierarchy_spine(cluster_id)
             else:
                 del self._clusters[cluster_id]
                 del self._blocks[cluster_id]
@@ -314,6 +552,7 @@ class DynamicOverlay:
                 self._borders = drop_cluster_from_borders(
                     self._borders, cluster_id
                 )
+                self._hier_drop_cluster(cluster_id)
         else:
             self._full_rebuild()
         self._finish_event("leave", proxy)
@@ -330,6 +569,7 @@ class DynamicOverlay:
         )
         self._adopt_labels(dict(clustering.labels))
         self._refresh_borders()
+        self._rebuild_hierarchy()
         self._finish_event("restructure", None, epoch=True)
 
     # -- quality ------------------------------------------------------------------
@@ -397,6 +637,7 @@ class DynamicOverlay:
         """The legacy rebuild-the-world path (``incremental=False``)."""
         self._adopt_labels(dict(self._labels))
         self._refresh_borders()
+        self._rebuild_hierarchy()
 
     def _nearest_member(self, point: Sequence[float]) -> ProxyId:
         """The current member geometrically closest to *point*."""
@@ -418,6 +659,7 @@ class DynamicOverlay:
         self._clustering_view: Optional[Clustering] = None
         self._overlay_view: Optional[OverlayNetwork] = None
         self._hfc_view: Optional[HFCTopology] = None
+        self._hierarchy_view = None
 
     def _finish_event(
         self, kind: str, proxy: Optional[ProxyId], *, epoch: bool = False

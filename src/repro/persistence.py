@@ -47,7 +47,7 @@ from repro.netsim.topology import PhysicalTopology, TransitStubConfig
 from repro.overlay.hfc import HFCTopology
 from repro.overlay.network import OverlayNetwork
 from repro.services.catalog import ServiceCatalog
-from repro.state.columnar import ColumnarOverlayState
+from repro.state.columnar import ColumnarOverlayState, HierarchyLevel
 from repro.util.errors import ReproError
 
 #: artifact schema version; bump on incompatible changes
@@ -242,7 +242,12 @@ def _snapshot_parts(target: Any) -> tuple:
     """
     framework = getattr(target, "framework", None)
     if framework is None:
-        return target, ColumnarOverlayState.from_framework(target)
+        fresh = ColumnarOverlayState.from_framework(target)
+        attached = getattr(target.hfc, "columnar", None)
+        if attached is not None and attached.levels:
+            # carry the recursive hierarchy's level stack into the capture
+            fresh.attach_levels(attached.levels)
+        return target, fresh
     return framework, target.columnar()
 
 
@@ -294,12 +299,21 @@ def save_snapshot(
             "landmark_fit_error": report.landmark_fit_error,
         },
         "version": {"epoch": columnar.epoch, "step": columnar.step},
+        "hierarchy_levels": len(columnar.levels),
         "state_plane": state_plane,
     }
+    level_arrays: Dict[str, np.ndarray] = {}
+    for k, level in enumerate(columnar.levels):
+        level_arrays[f"level{k}_parent"] = level.parent
+        level_arrays[f"level{k}_ptr"] = level.ptr
+        level_arrays[f"level{k}_members"] = level.members
+        level_arrays[f"level{k}_borders"] = level.border_matrix
+        level_arrays[f"level{k}_centroids"] = level.centroids
     with open(path, "wb") as handle:
         np.savez(
             handle,
             meta=np.array(json.dumps(meta)),
+            **level_arrays,
             phys_nodes=np.array(nodes, dtype=np.int64),
             phys_pos=np.array(
                 [topo.positions[n] for n in nodes], dtype=float
@@ -364,6 +378,17 @@ def load_snapshot(path: str) -> OverlaySnapshot:
                 "placement_codes",
             )
         }
+        levels = []
+        for k in range(int(meta.get("hierarchy_levels", 0))):
+            levels.append(
+                HierarchyLevel(
+                    parent=data[f"level{k}_parent"],
+                    ptr=data[f"level{k}_ptr"],
+                    members=data[f"level{k}_members"],
+                    border_matrix=data[f"level{k}_borders"],
+                    centroids=data[f"level{k}_centroids"],
+                )
+            )
 
     config = FrameworkConfig(
         **meta["config"]["base"],
@@ -406,6 +431,7 @@ def load_snapshot(path: str) -> OverlaySnapshot:
         placement_codes=arrays["placement_codes"],
         epoch=int(meta["version"]["epoch"]),
         step=int(meta["version"]["step"]),
+        levels=levels,
     )
     columnar.validate()
     hfc = columnar.hfc_view(physical)

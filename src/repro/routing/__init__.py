@@ -22,7 +22,13 @@ from repro.routing.hierarchical import (
     HierarchicalRouter,
 )
 from repro.routing.meshrouting import MeshRouter, hfc_full_state_router
-from repro.routing.path import Hop, ServicePath, path_from_assignment, validate_path
+from repro.routing.path import (
+    Hop,
+    ServicePath,
+    merge_consecutive_hops,
+    path_from_assignment,
+    validate_path,
+)
 from repro.routing.providers import (
     CoordinateProvider,
     DistanceProvider,
@@ -60,6 +66,7 @@ __all__ = [
     "coordinate_router",
     "hfc_full_state_router",
     "materialise_assignment",
+    "merge_consecutive_hops",
     "oracle_router",
     "path_from_assignment",
     "query_tables",

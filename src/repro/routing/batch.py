@@ -42,8 +42,8 @@ import numpy as np
 
 from repro.coords.space import CoordinateSpace
 from repro.overlay.network import ProxyId
-from repro.routing.flat import _merge_consecutive, materialise_assignment
-from repro.routing.path import Hop, ServicePath
+from repro.routing.flat import materialise_assignment
+from repro.routing.path import Hop, ServicePath, merge_consecutive_hops
 from repro.routing.providers import CoordinateProvider
 from repro.routing.servicedag import solve_reference, solve_vectorised
 from repro.services.graph import ServiceGraph, SlotId
@@ -284,7 +284,7 @@ def solve_child_spec(
     solver and materialisation the per-request path uses.
     """
     if not spec.slots:
-        hops = _merge_consecutive(
+        hops = merge_consecutive_hops(
             [Hop(proxy=spec.source_proxy), Hop(proxy=spec.destination_proxy)]
         )
         return ServicePath(hops=tuple(hops))
@@ -333,7 +333,7 @@ def _materialise_chain(
     for (slot, proxy), service in zip(assignment, spec.services):
         hops.append(Hop(proxy=proxy, service=service, slot=slot))
     hops.append(Hop(proxy=spec.destination_proxy))
-    return ServicePath(hops=tuple(_merge_consecutive(hops)))
+    return ServicePath(hops=tuple(merge_consecutive_hops(hops)))
 
 
 def _solve_chain_bucket(
@@ -433,7 +433,7 @@ def solve_chain_specs_vectorised(
     buckets: Dict[int, List[int]] = {}
     for i, spec in enumerate(specs):
         if not spec.slots:
-            hops = _merge_consecutive(
+            hops = merge_consecutive_hops(
                 [Hop(proxy=spec.source_proxy), Hop(proxy=spec.destination_proxy)]
             )
             outcomes[i] = ("ok", ServicePath(hops=tuple(hops)))

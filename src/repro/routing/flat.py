@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.overlay.network import OverlayNetwork, ProxyId
-from repro.routing.path import Hop, ServicePath
+from repro.routing.path import Hop, ServicePath, merge_consecutive_hops
 from repro.routing.providers import (
     CoordinateProvider,
     DistanceProvider,
@@ -207,23 +207,7 @@ def materialise_assignment(
             for relay in relays[1:-1]:
                 hops.append(Hop(proxy=relay))
         hops.append(nxt)
-    return ServicePath(hops=tuple(_merge_consecutive(hops)))
-
-
-def _merge_consecutive(hops: List[Hop]) -> List[Hop]:
-    """Drop relay hops that duplicate an adjacent hop on the same proxy."""
-    result: List[Hop] = []
-    for hop in hops:
-        if result and result[-1].proxy == hop.proxy:
-            if result[-1].service is None and hop.service is not None:
-                result[-1] = hop  # the service hop subsumes the relay
-            elif hop.service is None:
-                continue  # relay after a service hop on the same proxy
-            else:
-                result.append(hop)  # two services on the same proxy: keep both
-        else:
-            result.append(hop)
-    return result
+    return ServicePath(hops=tuple(merge_consecutive_hops(hops)))
 
 
 def coordinate_router(overlay: OverlayNetwork, **kwargs) -> FlatRouter:

@@ -49,8 +49,8 @@ from repro.routing.batch import (
     service_graph_signature,
     solve_specs,
 )
-from repro.routing.flat import FlatRouter, _merge_consecutive
-from repro.routing.path import Hop, ServicePath
+from repro.routing.flat import FlatRouter
+from repro.routing.path import Hop, ServicePath, merge_consecutive_hops
 from repro.routing.providers import CoordinateProvider
 from repro.services.catalog import ServiceName
 from repro.services.graph import ServiceGraph, SlotId
@@ -420,23 +420,12 @@ class HierarchicalRouter:
             outcomes_of: Dict[int, List[ChildOutcome]] = {}
             custom_conquer = (
                 type(self).solve_child is not HierarchicalRouter.solve_child
+                or type(self)._conquer_custom
+                is not HierarchicalRouter._conquer_custom
             )
             with tracer.span("route.batch.conquer", workers=workers or 1):
                 if custom_conquer:
-                    for idx, request in enumerate(requests):
-                        children = children_of[idx]
-                        if children is None:
-                            continue
-                        outcomes: List[ChildOutcome] = []
-                        for child in children:
-                            try:
-                                outcomes.append(
-                                    ("ok", self.solve_child(request, child))
-                                )
-                            except NoFeasiblePathError as err:
-                                outcomes.append(("err", err))
-                                break
-                        outcomes_of[idx] = outcomes
+                    self._conquer_custom(requests, children_of, outcomes_of)
                 else:
                     specs: List[ChildSpec] = []
                     owners: List[int] = []
@@ -505,6 +494,34 @@ class HierarchicalRouter:
                 "routing.requests", router="hierarchical", outcome="infeasible"
             ).inc(count - ok)
         return BatchRouteResult(paths=paths, errors=errors)
+
+    def _conquer_custom(
+        self,
+        requests: Sequence[ServiceRequest],
+        children_of: Sequence[Optional[List[ChildRequest]]],
+        outcomes_of: Dict[int, List[ChildOutcome]],
+    ) -> None:
+        """Conquer hook for routers with a custom :meth:`solve_child`.
+
+        The base implementation replays the scalar semantics per request:
+        children are solved in order through :meth:`solve_child`, stopping
+        at the first infeasible child. Subclasses may override this to
+        batch child solves (the recursive router groups children per
+        sub-hierarchy and feeds each group's router one ``route_many``
+        call) as long as the recorded outcomes stay identical.
+        """
+        for idx, request in enumerate(requests):
+            children = children_of[idx]
+            if children is None:
+                continue
+            outcomes: List[ChildOutcome] = []
+            for child in children:
+                try:
+                    outcomes.append(("ok", self.solve_child(request, child)))
+                except NoFeasiblePathError as err:
+                    outcomes.append(("err", err))
+                    break
+            outcomes_of[idx] = outcomes
 
     # -- batched cluster-level relaxation ---------------------------------------
 
@@ -1134,7 +1151,7 @@ class HierarchicalRouter:
         link between its endpoints.
         """
         if not child.slots:
-            hops = _merge_consecutive(
+            hops = merge_consecutive_hops(
                 [Hop(proxy=child.source_proxy), Hop(proxy=child.destination_proxy)]
             )
             return ServicePath(hops=tuple(hops))
@@ -1173,7 +1190,7 @@ class HierarchicalRouter:
         hops: List[Hop] = []
         for child_path in child_paths:
             hops.extend(child_path.hops)
-        merged = _merge_consecutive(hops)
+        merged = merge_consecutive_hops(hops)
         if not merged:
             raise RoutingError("composition produced an empty path")
         return ServicePath(hops=tuple(merged))

@@ -103,6 +103,22 @@ class ServicePath:
         return "<" + ", ".join(repr(h) for h in self.hops) + ">"
 
 
+def merge_consecutive_hops(hops: Sequence[Hop]) -> List[Hop]:
+    """Drop relay hops that duplicate an adjacent hop on the same proxy."""
+    result: List[Hop] = []
+    for hop in hops:
+        if result and result[-1].proxy == hop.proxy:
+            if result[-1].service is None and hop.service is not None:
+                result[-1] = hop  # the service hop subsumes the relay
+            elif hop.service is None:
+                continue  # relay after a service hop on the same proxy
+            else:
+                result.append(hop)  # two services on the same proxy: keep both
+        else:
+            result.append(hop)
+    return result
+
+
 def path_from_assignment(
     request: ServiceRequest,
     assignment: Sequence[Tuple[int, ProxyId]],

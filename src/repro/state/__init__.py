@@ -1,7 +1,18 @@
 """State tables, the distribution protocol, and overhead accounting."""
 
-from repro.state.columnar import ColumnarOverlayState, attach_columnar
-from repro.state.delta import Announcement, DeltaAssembler, DeltaEmitter
+from repro.state.columnar import (
+    ColumnarOverlayState,
+    HierarchyLevel,
+    attach_columnar,
+)
+from repro.state.delta import (
+    Announcement,
+    DeltaAssembler,
+    DeltaEmitter,
+    aggregate_stream,
+    announce_aggregates,
+    assemble_aggregates,
+)
 from repro.state.overhead import (
     coordinates_node_states,
     flat_node_states,
@@ -20,6 +31,10 @@ from repro.state.tables import ProxyState, ServiceCapabilityTable
 __all__ = [
     "Announcement",
     "ColumnarOverlayState",
+    "HierarchyLevel",
+    "aggregate_stream",
+    "announce_aggregates",
+    "assemble_aggregates",
     "attach_columnar",
     "DeltaAssembler",
     "DeltaEmitter",

@@ -72,6 +72,76 @@ def attach_columnar(hfc: Any, state: "ColumnarOverlayState") -> None:
 
 
 @dataclass
+class HierarchyLevel:
+    """One upper level of a recursive hierarchy, in columnar (CSR) form.
+
+    A depth-``L`` hierarchy stores ``L - 2`` of these: entry ``k`` groups
+    the units of level ``k + 1`` (level 1 = the base clusters) into the
+    groups of level ``k + 2``. All arrays index *units of the level
+    below* by their ids and *proxies* by their row in the owning state's
+    ``proxies`` column, so the whole stack shares one coordinate buffer:
+
+    * ``parent``  — ``(count_below,)`` int64, below-unit id -> group id;
+    * ``ptr`` / ``members`` — CSR of per-group below-unit lists, ids
+      ascending within each group (the build order, load-bearing for the
+      border gather);
+    * ``border_matrix`` — ``(count, count)`` int64 proxy *rows*; entry
+      ``(i, j)`` is the border proxy inside group ``i`` facing group
+      ``j`` (``-1`` on the diagonal);
+    * ``centroids`` — ``(count, dim)`` float64, each group's centroid
+      (mean of its children's centroids), the input of the next level's
+      re-clustering.
+    """
+
+    parent: np.ndarray         # (count_below,) int64
+    ptr: np.ndarray            # (count+1,) int64
+    members: np.ndarray        # (count_below,) int64 below-unit ids
+    border_matrix: np.ndarray  # (count, count) int64 proxy rows, -1 diagonal
+    centroids: np.ndarray      # (count, dim) float64
+
+    @property
+    def count(self) -> int:
+        """Number of groups at this level."""
+        return int(self.border_matrix.shape[0])
+
+    @property
+    def count_below(self) -> int:
+        """Number of units at the level below."""
+        return int(self.parent.shape[0])
+
+    def members_of(self, group_id: int) -> List[int]:
+        """Below-unit ids of *group_id*, ascending."""
+        if not 0 <= group_id < self.count:
+            raise StateError(f"no hierarchy group {group_id}")
+        lo, hi = int(self.ptr[group_id]), int(self.ptr[group_id + 1])
+        return [int(u) for u in self.members[lo:hi]]
+
+    def groups(self) -> List[List[int]]:
+        """All per-group below-unit lists, in group-id order."""
+        return [self.members_of(g) for g in range(self.count)]
+
+    def validate(self, count_below: int, dimension: int) -> None:
+        """Structural invariants against the level below; raises StateError."""
+        c = self.count
+        if self.parent.shape != (count_below,):
+            raise StateError("hierarchy level: parent shape disagrees")
+        if self.ptr.shape != (c + 1,) or self.members.shape != (count_below,):
+            raise StateError("hierarchy level: CSR shapes disagree")
+        if self.ptr[0] != 0 or self.ptr[-1] != count_below:
+            raise StateError("hierarchy level: ptr does not span all units")
+        if self.centroids.shape != (c, dimension):
+            raise StateError("hierarchy level: centroid shape disagrees")
+        if count_below and (
+            int(self.parent.min()) < 0 or int(self.parent.max()) >= c
+        ):
+            raise StateError("hierarchy level: parent outside [0, count)")
+        for g in range(c):
+            for u in self.members_of(g):
+                if int(self.parent[u]) != g:
+                    raise StateError("hierarchy level: parent/members disagree")
+
+
+@dataclass
 class ColumnarOverlayState:
     """A struct-of-arrays snapshot of one consistent overlay state."""
 
@@ -86,9 +156,13 @@ class ColumnarOverlayState:
     placement_codes: np.ndarray  # (nnz,) int64, sorted within each row
     epoch: int = 0
     step: int = 0
+    levels: List[HierarchyLevel] = field(default_factory=list)
     _space: Optional[CoordinateSpace] = field(default=None, init=False, repr=False)
     _clustering: Optional[Clustering] = field(default=None, init=False, repr=False)
     _tables: Optional["QueryTables"] = field(default=None, init=False, repr=False)
+    _level_tables: Dict[int, "QueryTables"] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     # -- shape -------------------------------------------------------------------
 
@@ -129,6 +203,27 @@ class ColumnarOverlayState:
             self.service_names
         ):
             raise StateError("columnar state: placement code outside vocabulary")
+        below = c
+        for level in self.levels:
+            level.validate(below, self.dimension)
+            if level.count and (
+                int(level.border_matrix.max()) >= n
+                or int(level.border_matrix.min()) < -1
+            ):
+                raise StateError("columnar state: level border row outside [0, n)")
+            below = level.count
+
+    def attach_levels(self, levels: List[HierarchyLevel]) -> None:
+        """Attach (or replace) the recursive hierarchy's upper-level stack.
+
+        The arrays become part of this state — snapshots round-trip them,
+        and :meth:`level_query_tables` serves the per-level CSP tables the
+        recursive router consumes zero-copy. Cached tables for any
+        previous stack are dropped; the combined state is re-validated.
+        """
+        self.levels = list(levels)
+        self._level_tables.clear()
+        self.validate()
 
     # -- construction ------------------------------------------------------------
 
@@ -142,6 +237,7 @@ class ColumnarOverlayState:
         borders: Mapping[Tuple[int, int], ProxyId],
         placement: Mapping[ProxyId, FrozenSet[ServiceName]],
         version: Optional[OverlayVersion] = None,
+        levels: Optional[List[HierarchyLevel]] = None,
     ) -> "ColumnarOverlayState":
         """Build the columnar snapshot of one consistent overlay state.
 
@@ -195,6 +291,7 @@ class ColumnarOverlayState:
             placement_codes=np.array(codes, dtype=np.int64),
             epoch=version.epoch,
             step=version.step,
+            levels=list(levels) if levels else [],
         )
         state.validate()
         return state
@@ -323,11 +420,34 @@ class ColumnarOverlayState:
         what makes the tables *shared*: every hfc/router materialised from
         this state sees one table instance.
         """
-        if self._tables is not None:
-            return self._tables
+        if self._tables is None:
+            self._tables = self._tables_from_matrix(self.border_matrix)
+        return self._tables
+
+    def level_query_tables(self, index: int) -> "QueryTables":
+        """CSP relaxation tables over one *upper* level's border matrix.
+
+        ``index`` selects ``levels[index]``; the resulting tables treat
+        that level's groups as the "clusters" of the relaxation, reading
+        border proxies and coordinates straight from the shared columns
+        (same scalar ``math.dist`` calls, same ``(i, j)`` scan order as
+        :meth:`query_tables`). Cached per level on the state, so every
+        recursive router materialised from this state shares one table
+        instance per level — the zero-copy path the batched top-level
+        relaxation consumes.
+        """
+        if not 0 <= index < len(self.levels):
+            raise StateError(f"no hierarchy level {index}")
+        if index not in self._level_tables:
+            self._level_tables[index] = self._tables_from_matrix(
+                self.levels[index].border_matrix
+            )
+        return self._level_tables[index]
+
+    def _tables_from_matrix(self, border_matrix: np.ndarray) -> "QueryTables":
         from repro.routing.batch import QueryTables
 
-        k = self.cluster_count
+        k = int(border_matrix.shape[0])
         coord_tuples = [tuple(c) for c in self.coords.tolist()]
         ext = np.zeros((k, k), dtype=float)
         border_row = np.full((k, k), -1, dtype=np.int64)
@@ -339,7 +459,7 @@ class ColumnarOverlayState:
             for j in range(k):
                 if i == j:
                     continue
-                r = int(self.border_matrix[i, j])
+                r = int(border_matrix[i, j])
                 proxy = int(self.proxies[r])
                 code = border_code.get(proxy)
                 if code is None:
@@ -350,7 +470,7 @@ class ColumnarOverlayState:
                     cluster_codes[i].append(code)
                 border_row[i, j] = code
                 ext[i, j] = math.dist(
-                    coord_tuples[r], coord_tuples[int(self.border_matrix[j, i])]
+                    coord_tuples[r], coord_tuples[int(border_matrix[j, i])]
                 )
         nb = len(border_list)
         d_border = np.zeros((nb, nb), dtype=float)
@@ -361,7 +481,7 @@ class ColumnarOverlayState:
                         d_border[a, b] = math.dist(
                             coord_tuples[code_row[a]], coord_tuples[code_row[b]]
                         )
-        self._tables = QueryTables(
+        return QueryTables(
             cluster_count=k,
             ext=ext,
             border_row=border_row,
@@ -369,4 +489,3 @@ class ColumnarOverlayState:
             border_code=border_code,
             d_border=d_border,
         )
-        return self._tables

@@ -207,3 +207,55 @@ class DeltaAssembler:
         self._sets[stream] = value
         self.applied += 1
         return value
+
+
+# -- per-level aggregate streams ----------------------------------------------
+#
+# A recursive hierarchy announces one capability stream per (level, group):
+# level 1 streams carry cluster aggregates, level k >= 2 streams carry the
+# aggregate-of-aggregates of that level's groups. The stream id is the
+# only convention — emitters and assemblers are the plain classes above,
+# so per-level streams inherit the full delta/refresh/incarnation
+# semantics without any new protocol machinery.
+
+
+def aggregate_stream(level: int, group: int) -> StreamId:
+    """The stream id of one hierarchy level's group aggregate."""
+    return ("agg", int(level), int(group))
+
+
+def announce_aggregates(
+    emitter: DeltaEmitter,
+    aggregates: Dict[Tuple[int, int], FrozenSet[ServiceName]],
+) -> Dict[StreamId, Announcement]:
+    """Announce every ``(level, group) -> capability set`` on its stream.
+
+    Streams are announced in sorted ``(level, group)`` order so repeated
+    calls with the same emitter stay deterministic.
+    """
+    return {
+        aggregate_stream(level, group): emitter.announce(
+            aggregate_stream(level, group), services
+        )
+        for (level, group), services in sorted(aggregates.items())
+    }
+
+
+def assemble_aggregates(
+    assembler: DeltaAssembler,
+    announcements: Dict[StreamId, Announcement],
+) -> Dict[Tuple[int, int], FrozenSet[ServiceName]]:
+    """Apply per-level announcements; the reconstructed aggregate view.
+
+    Ignored announcements (stale/gap) fall back to the assembler's last
+    reconstructed set for that stream, mirroring how a forwarder keeps
+    serving its latest knowledge; streams never anchored are absent.
+    """
+    out: Dict[Tuple[int, int], FrozenSet[ServiceName]] = {}
+    for stream, announcement in announcements.items():
+        value = assembler.apply(stream, announcement)
+        if value is None:
+            value = assembler.current(stream)
+        if value is not None:
+            out[(int(stream[1]), int(stream[2]))] = value  # type: ignore[arg-type]
+    return out

@@ -1,12 +1,11 @@
-"""Unit tests for path assembly internals (_merge_consecutive).
+"""Unit tests for path assembly internals (merge_consecutive_hops).
 
 Every router funnels its hops through this helper; its contract is subtle
 (relays collapse into adjacent hops on the same proxy, service hops never
 disappear), so it gets its own adversarial test set.
 """
 
-from repro.routing.flat import _merge_consecutive
-from repro.routing.path import Hop
+from repro.routing.path import Hop, merge_consecutive_hops
 
 
 def hops(*specs):
@@ -18,35 +17,35 @@ def hops(*specs):
 class TestMergeConsecutive:
     def test_distinct_proxies_untouched(self):
         sequence = hops((1, None), (2, "a"), (3, None))
-        assert _merge_consecutive(sequence) == sequence
+        assert merge_consecutive_hops(sequence) == sequence
 
     def test_relay_then_service_same_proxy_keeps_service(self):
-        merged = _merge_consecutive(hops((1, None), (1, "a")))
+        merged = merge_consecutive_hops(hops((1, None), (1, "a")))
         assert len(merged) == 1
         assert merged[0].service == "a"
 
     def test_service_then_relay_same_proxy_keeps_service(self):
-        merged = _merge_consecutive(hops((1, "a"), (1, None)))
+        merged = merge_consecutive_hops(hops((1, "a"), (1, None)))
         assert len(merged) == 1
         assert merged[0].service == "a"
 
     def test_two_services_same_proxy_both_kept(self):
-        merged = _merge_consecutive(hops((1, "a"), (1, "b")))
+        merged = merge_consecutive_hops(hops((1, "a"), (1, "b")))
         assert [h.service for h in merged] == ["a", "b"]
 
     def test_double_relay_same_proxy_collapses(self):
-        merged = _merge_consecutive(hops((1, None), (1, None)))
+        merged = merge_consecutive_hops(hops((1, None), (1, None)))
         assert len(merged) == 1
         assert merged[0].service is None
 
     def test_relay_sandwich(self):
         """relay, service, relay on one proxy -> just the service."""
-        merged = _merge_consecutive(hops((1, None), (1, "a"), (1, None)))
+        merged = merge_consecutive_hops(hops((1, None), (1, "a"), (1, None)))
         assert len(merged) == 1
         assert merged[0].service == "a"
 
     def test_triple_service_run(self):
-        merged = _merge_consecutive(hops((1, "a"), (1, "b"), (1, "c")))
+        merged = merge_consecutive_hops(hops((1, "a"), (1, "b"), (1, "c")))
         assert [h.service for h in merged] == ["a", "b", "c"]
 
     def test_composition_junction_scenario(self):
@@ -54,7 +53,7 @@ class TestMergeConsecutive:
         duplicated border relay but keeps everything else."""
         child1 = hops((10, None), (11, "a"), (12, None))
         child2 = hops((12, None), (13, "b"), (14, None))
-        merged = _merge_consecutive(child1 + child2)
+        merged = merge_consecutive_hops(child1 + child2)
         proxies = [h.proxy for h in merged]
         assert proxies == [10, 11, 12, 13, 14]
 
@@ -70,7 +69,7 @@ class TestMergeConsecutive:
                 service = rng.choice([None, "a", "b"])
                 sequence.append(Hop(proxy=proxy, service=service,
                                     slot=i if service else None))
-            merged = _merge_consecutive(sequence)
+            merged = merge_consecutive_hops(sequence)
             assert (
                 [h.service for h in merged if h.service is not None]
                 == [h.service for h in sequence if h.service is not None]
@@ -84,4 +83,4 @@ class TestMergeConsecutive:
                 )
 
     def test_empty_input(self):
-        assert _merge_consecutive([]) == []
+        assert merge_consecutive_hops([]) == []
