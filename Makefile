@@ -56,6 +56,7 @@ bench-smoke:
 	cp BENCH_traffic.json /tmp/traffic_baseline.json
 	cp BENCH_snapshot.json /tmp/snapshot_baseline.json
 	cp BENCH_hierarchy.json /tmp/hierarchy_baseline.json
+	cp BENCH_shard.json /tmp/shard_baseline.json
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_construction.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_churn.py::test_incremental_churn_speedup --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_query.py --benchmark-only -q
@@ -63,6 +64,7 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_traffic.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_snapshot.py --benchmark-only -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_multilevel.py --benchmark-only -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_shard.py --benchmark-only -q
 	$(PYTHON) scripts/check_bench_regression.py /tmp/bench_baseline.json BENCH_construction.json --tolerance 0.25
 	$(PYTHON) scripts/check_bench_regression.py /tmp/churn_baseline.json BENCH_churn.json --tolerance 0.25 --metric maintenance --metric state_bytes
 	$(PYTHON) scripts/check_bench_regression.py /tmp/query_baseline.json BENCH_query.json --tolerance 0.25 --metric batch_throughput --metric single_query
@@ -70,6 +72,7 @@ bench-smoke:
 	$(PYTHON) scripts/check_bench_regression.py /tmp/traffic_baseline.json BENCH_traffic.json --tolerance 0.25 --metric steady_throughput --metric p95_latency
 	$(PYTHON) scripts/check_bench_regression.py /tmp/snapshot_baseline.json BENCH_snapshot.json --tolerance 0.25 --metric warm_start
 	$(PYTHON) scripts/check_bench_regression.py /tmp/hierarchy_baseline.json BENCH_hierarchy.json --tolerance 0.25 --metric state_l3 --metric delay_l3
+	$(PYTHON) scripts/check_bench_regression.py /tmp/shard_baseline.json BENCH_shard.json --tolerance 0.25 --metric completed_ratio --metric locality
 
 # Tier-1 suite under coverage, enforcing the same floor as the CI tests job
 # (py3.12 leg); writes the HTML report to htmlcov/. Skipped with a notice

@@ -1,0 +1,139 @@
+"""Extension bench E9 — sharded event simulation at scale.
+
+Runs :func:`repro.traffic.shardload.run_shard_load` — deterministic
+periodic request traffic over a synthetic grid-of-clusters overlay — on
+the sharded engine, at the scale the monolithic single-heap simulator
+cannot reach in the nightly wall-clock budget (ROADMAP item 1):
+
+* small (CI): n=400 over 8 clusters, shards=2, plus a workers=2 process
+  run that must reproduce the in-process counters exactly;
+* full (nightly): n=100_000 over 256 clusters, shards=4 — steady-state
+  traffic at 100k proxies.
+
+Results land in ``BENCH_shard.json`` at the repo root, keyed by scale.
+Both gated metrics are deterministic simulated-clock ratios (the same
+value on any hardware, any shard count, any worker count):
+
+* ``completed_ratio`` — completed / issued requests; the workload is
+  sized so every request finishes inside the horizon, so this is
+  exactly 1.0 and any dip means the sharded exchange lost or duplicated
+  messages;
+* ``locality`` — the fraction of hop deliveries that stayed shard-local;
+  it measures how well the contiguous cluster partition preserves the
+  paper's containment locality, and a drop means the partitioner
+  regressed.
+
+``event_rate`` (events per wall-clock second) is reported but not gated
+— wall-clock numbers are hardware-bound.
+
+``scripts/check_bench_regression.py --metric completed_ratio --metric
+locality`` gates both at 25% tolerance.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments import ascii_table
+from repro.traffic.shardload import run_shard_load, synthetic_overlay
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_shard.json"
+
+
+def _workload():
+    """(scale, proxies, clusters, shards, duration) for the scale."""
+    full = os.environ.get("REPRO_SCALE", "small").strip().lower()
+    if full in ("full", "1", "1.0"):
+        return "full", 100_000, 256, 4, 2_000.0
+    return "small", 400, 8, 2, 2_000.0
+
+
+def _merge_result(scale, entry):
+    """Rewrite BENCH_shard.json, preserving the other scales' entries."""
+    existing = {}
+    if RESULT_PATH.exists():
+        existing = json.loads(RESULT_PATH.read_text()).get("entries", {})
+    existing[scale] = entry
+    snapshot = {
+        "bench": "shard",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "entries": existing,
+    }
+    RESULT_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+
+
+def test_sharded_simulation_scale(benchmark, emit):
+    scale, proxies, clusters, shards, duration = _workload()
+    state = synthetic_overlay(proxies, clusters, seed=11)
+
+    def run():
+        return run_shard_load(
+            state, shards=shards, period=500.0, duration=duration, seed=11
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # worker-process mode must reproduce the in-process counters exactly;
+    # run it at CI size only (process startup dominates at small n and the
+    # nightly budget is for the 100k in-process sweep)
+    workers_entry = None
+    if scale == "small":
+        worker_result = run_shard_load(
+            state, shards=shards, workers=shards, period=500.0,
+            duration=duration, seed=11,
+        )
+        assert worker_result.requests == result.requests
+        assert worker_result.completed == result.completed
+        assert worker_result.hops_intra == result.hops_intra
+        assert worker_result.hops_cross == result.hops_cross
+        assert worker_result.events == result.events
+        workers_entry = {
+            "workers": worker_result.workers,
+            "event_rate": round(worker_result.event_rate, 1),
+            "wall_seconds": round(worker_result.wall_seconds, 3),
+        }
+
+    emit(
+        "shard",
+        f"E9 — sharded simulation, n={proxies} over {clusters} clusters, "
+        f"{shards} shards\n"
+        + ascii_table(
+            ["proxies", "shards", "events", "windows", "exchanged",
+             "completed", "locality", "events/s", "wall s"],
+            [[result.proxies, result.shards, result.events, result.windows,
+              result.exchanged, f"{result.completed_ratio:.3f}",
+              f"{result.locality:.3f}", f"{result.event_rate:.0f}",
+              f"{result.wall_seconds:.2f}"]],
+        ),
+    )
+
+    entry = {
+        "proxies": proxies,
+        "clusters": clusters,
+        "shards": shards,
+        "duration": duration,
+        "events": result.events,
+        "windows": result.windows,
+        "exchanged": result.exchanged,
+        "requests": result.requests,
+        "completed": result.completed,
+        "event_rate": round(result.event_rate, 1),
+        "wall_seconds": round(result.wall_seconds, 3),
+        "worker_mode": workers_entry,
+        "speedup": {
+            "total": round(result.completed_ratio, 4),
+            "completed_ratio": round(result.completed_ratio, 4),
+            "locality": round(result.locality, 4),
+        },
+    }
+    _merge_result(scale, entry)
+
+    # every issued request completes — the conservation-backed invariant
+    assert result.completed_ratio == 1.0
+    # the contiguous cluster partition must preserve containment locality
+    assert result.locality > 0.5
+    # the run actually sharded: cross-shard batches flowed at the barriers
+    assert result.shards == shards
+    assert result.exchanged > 0

@@ -10,7 +10,8 @@ Commands:
 * ``protocol``— run the Section-4 state protocol and print its cost;
 * ``telemetry`` — exercise every instrumented layer and dump the metrics;
 * ``traffic`` — sustained open-loop session load: steady-state report,
-  optional rate sweep (saturation point) and load-under-faults scenario.
+  optional rate sweep (saturation point) and load-under-faults scenario;
+* ``shard``   — synthetic large-n workload on the sharded event simulator.
 
 Common flags: ``--scale`` (fraction of paper sizes), ``--seed``,
 ``--json FILE`` (machine-readable output), ``--telemetry-out FILE``
@@ -243,7 +244,11 @@ def cmd_traffic(args: argparse.Namespace) -> int:
         max_in_flight=args.max_in_flight,
         session=SessionConfig(),
     )
-    engine = TrafficEngine(framework, config, seed=args.seed + 1)
+    sim = framework.simulator(shards=args.shards)
+    if getattr(sim, "shards", 1) > 1:
+        print(f"sharded simulator: {sim.shards} shards, "
+              f"lookahead {sim.plan.lookahead:.1f} ms")
+    engine = TrafficEngine(framework, config, sim=sim, seed=args.seed + 1)
     report = engine.run()
     payload = {"steady": report.to_dict()}
     print("steady state:")
@@ -297,6 +302,50 @@ def cmd_traffic(args: argparse.Namespace) -> int:
 
     if args.json:
         dump_json(payload, args.json)
+        print(f"JSON written to {args.json}")
+    return 0
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    """Run the synthetic sharded-simulation workload and print the outcome."""
+    from repro.traffic.shardload import run_shard_load, synthetic_overlay
+
+    state = synthetic_overlay(args.proxies, args.clusters, seed=args.seed)
+    result = run_shard_load(
+        state,
+        shards=args.shards,
+        workers=args.workers,
+        period=args.period,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    print(ascii_table(
+        ["proxies", "clusters", "shards", "workers", "events", "windows",
+         "exchanged", "completed", "locality", "events/s"],
+        [[result.proxies, result.clusters, result.shards, result.workers,
+          result.events, result.windows, result.exchanged,
+          f"{result.completed_ratio:.3f}", f"{result.locality:.3f}",
+          f"{result.event_rate:.0f}"]],
+    ))
+    if args.json:
+        dump_json(
+            {
+                "proxies": result.proxies,
+                "clusters": result.clusters,
+                "shards": result.shards,
+                "workers": result.workers,
+                "events": result.events,
+                "windows": result.windows,
+                "exchanged": result.exchanged,
+                "requests": result.requests,
+                "completed": result.completed,
+                "completed_ratio": result.completed_ratio,
+                "locality": result.locality,
+                "event_rate": result.event_rate,
+                "wall_seconds": result.wall_seconds,
+            },
+            args.json,
+        )
         print(f"JSON written to {args.json}")
     return 0
 
@@ -373,8 +422,27 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--under-faults", action="store_true",
                          help="also run the load under a crash/restart fault "
                               "plan with the convergence auditor")
+    traffic.add_argument("--shards", type=int, default=None,
+                         help="partition the event simulation into this many "
+                              "per-cluster shards (results are invariant)")
     _add_common(traffic)
     traffic.set_defaults(fn=cmd_traffic)
+
+    shard = sub.add_parser(
+        "shard", help="run the synthetic sharded-simulation workload"
+    )
+    shard.add_argument("--proxies", type=int, default=10_000)
+    shard.add_argument("--clusters", type=int, default=64)
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--workers", type=int, default=None,
+                       help="run shards in this many worker processes "
+                            "(must equal --shards; default in-process)")
+    shard.add_argument("--period", type=float, default=500.0,
+                       help="per-proxy request period in simulated ms")
+    shard.add_argument("--duration", type=float, default=2000.0,
+                       help="request-issue horizon in simulated ms")
+    _add_common(shard)
+    shard.set_defaults(fn=cmd_shard)
 
     return parser
 

@@ -45,6 +45,12 @@ class FrameworkConfig:
             batched routing (``route_many``); ``None`` solves in-process.
             The conquer fan-out is result-invariant, so this is purely a
             throughput knob — the query-path twin of ``embedding_workers``.
+        sim_shards: default shard count for event simulators built via
+            :meth:`HFCFramework.simulator`. ``None``/1 keeps the monolithic
+            single-heap engine; higher values partition proxies by cluster
+            into per-shard heaps with conservative-window exchange —
+            results are shard-count-invariant, so this too is purely a
+            throughput knob.
     """
 
     physical_nodes: Optional[int] = None
@@ -61,6 +67,7 @@ class FrameworkConfig:
     vectorized_construction: bool = True
     embedding_workers: Optional[int] = None
     query_workers: Optional[int] = None
+    sim_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.landmark_count < self.dimension + 1:
@@ -80,6 +87,8 @@ class FrameworkConfig:
             raise ReproError("embedding_workers must be >= 1 or None")
         if self.query_workers is not None and self.query_workers < 1:
             raise ReproError("query_workers must be >= 1 or None")
+        if self.sim_shards is not None and self.sim_shards < 1:
+            raise ReproError("sim_shards must be >= 1 or None")
 
     def physical_size_for(self, proxy_count: int) -> int:
         """Physical topology size for *proxy_count* proxies.

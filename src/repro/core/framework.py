@@ -201,6 +201,31 @@ class HFCFramework:
             attach_columnar(self.hfc, state)
         return state
 
+    def simulator(
+        self,
+        *,
+        shards: Optional[int] = None,
+        telemetry=None,
+        lookahead: Optional[float] = None,
+    ):
+        """An event simulator for this overlay, sharded when asked.
+
+        *shards* defaults to ``config.sim_shards``; 1 (or ``None``) returns
+        the monolithic :class:`~repro.netsim.eventsim.Simulator`. Higher
+        counts partition proxies by hierarchy cluster (clamped to the
+        cluster count) with the exact physical cross-shard delay as the
+        conservative lookahead — results are shard-count-invariant.
+        """
+        from repro.netsim.eventsim import Simulator
+        from repro.netsim.shard import ShardedSimulator, ShardPlan
+
+        count = shards if shards is not None else (self.config.sim_shards or 1)
+        count = min(count, self.columnar.cluster_count)
+        if count <= 1:
+            return Simulator(telemetry=telemetry)
+        plan = ShardPlan.from_framework(self, count, lookahead=lookahead)
+        return ShardedSimulator(plan, telemetry=telemetry)
+
     # -- recursive hierarchy -------------------------------------------------------
 
     def build_hierarchy(

@@ -329,6 +329,7 @@ def run_fault_scenario(
     protocol_seed: RngLike = None,
     probes: int = 6,
     check_interval: float = 250.0,
+    sim: Any = None,
 ) -> FaultScenarioResult:
     """Build protocol + injector + auditor for *plan* and run the audit.
 
@@ -350,6 +351,7 @@ def run_fault_scenario(
         mode=mode,
         refresh_every=refresh_every,
         aggregate_period=aggregate_period,
+        sim=sim,
     )
 
     snapshots: Dict[Any, Dict[str, Any]] = {}

@@ -127,6 +127,11 @@ class FaultInjector:
         self.sim.telemetry.events.record("faults.crash", proxy=spec.proxy)
         if self._on_crash is not None:
             self._on_crash(spec)
+        if spec.restart_at is None and self.sim.is_registered(spec.proxy):
+            # A crash with no restart is a permanent departure: free the
+            # address so the registry stops growing and in-flight traffic
+            # becomes counted drops rather than zombie deliveries.
+            self.sim.deregister(spec.proxy)
 
     def _restart(self, spec: CrashRestart) -> None:
         assert self.sim is not None

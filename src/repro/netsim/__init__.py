@@ -2,6 +2,13 @@
 
 from repro.netsim.eventsim import Message, Process, Simulator
 from repro.netsim.physical import PhysicalNetwork
+from repro.netsim.shard import (
+    ShardedSimulator,
+    ShardPlan,
+    ShardProgram,
+    ShardRunResult,
+    run_sharded,
+)
 from repro.netsim.topology import (
     PhysicalTopology,
     TransitStubConfig,
@@ -14,6 +21,10 @@ __all__ = [
     "PhysicalNetwork",
     "PhysicalTopology",
     "Process",
+    "ShardPlan",
+    "ShardProgram",
+    "ShardRunResult",
+    "ShardedSimulator",
     "Simulator",
     "TransitStubConfig",
     "transit_stub",

@@ -77,8 +77,21 @@ class Simulator:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         #: per-kind (message counter, byte counter, latency histogram)
         self._delivery_handles: Dict[str, Tuple[Counter, Counter, Histogram]] = {}
+        #: per-kind (sent counter, duplicated counter)
+        self._send_handles: Dict[str, Tuple[Counter, Counter]] = {}
+        #: per-(kind, cause) drop counter
+        self._drop_handles: Dict[Tuple[str, str], Counter] = {}
         #: optional hook on the delivery path (see :data:`DeliveryInterceptor`)
         self.interceptor: Optional[DeliveryInterceptor] = None
+        # Plain-int mirrors of the conservation counters so the invariant
+        # `sent + duplicated == delivered + dropped + pending` can be checked
+        # every window barrier without scanning the metrics registry.
+        self._n_sent = 0
+        self._n_duplicated = 0
+        self._n_delivered = 0
+        self._n_dropped = 0
+        self._n_undelivered = 0
+        self._n_events = 0
 
     # -- telemetry -----------------------------------------------------------
 
@@ -91,6 +104,46 @@ class Simulator:
     def bytes_delivered(self) -> int:
         """Total delivered size units (all kinds), from the registry."""
         return self.telemetry.registry.total("sim.bytes.delivered")
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages handed to :meth:`send` (before fan-out or drops)."""
+        return self._n_sent
+
+    @property
+    def messages_dropped(self) -> int:
+        """Total message copies dropped (interceptor + unregistered)."""
+        return self._n_dropped
+
+    @property
+    def messages_pending(self) -> int:
+        """Message copies scheduled but not yet delivered or dropped."""
+        return self._n_undelivered
+
+    @property
+    def events_processed(self) -> int:
+        """Total events popped off the heap by the run loops."""
+        return self._n_events
+
+    def conservation(self) -> Dict[str, int]:
+        """Message-conservation tallies; ``balanced`` asserts the invariant.
+
+        The invariant is ``sent + duplicated == delivered + dropped + pending``
+        where every term counts message *copies* (a duplicated send yields two
+        copies, an interceptor drop resolves the nominal copy as dropped).
+        """
+        tallies = {
+            "sent": self._n_sent,
+            "duplicated": self._n_duplicated,
+            "delivered": self._n_delivered,
+            "dropped": self._n_dropped,
+            "pending": self._n_undelivered,
+        }
+        tallies["balanced"] = int(
+            tallies["sent"] + tallies["duplicated"]
+            == tallies["delivered"] + tallies["dropped"] + tallies["pending"]
+        )
+        return tallies
 
     def _record_delivery(self, message: Message, latency: float) -> None:
         handles = self._delivery_handles.get(message.kind)
@@ -110,6 +163,34 @@ class Simulator:
         messages.inc()
         size_units.inc(message.size)
         latency_hist.observe(latency)
+        self._n_delivered += 1
+
+    def _record_sent(self, message: Message, copies: int) -> None:
+        handles = self._send_handles.get(message.kind)
+        if handles is None:
+            registry = self.telemetry.registry
+            handles = (
+                registry.counter("sim.messages.sent", kind=message.kind),
+                registry.counter("sim.messages.duplicated", kind=message.kind),
+            )
+            self._send_handles[message.kind] = handles
+        sent, duplicated = handles
+        sent.inc()
+        self._n_sent += 1
+        if copies > 1:
+            duplicated.inc(copies - 1)
+            self._n_duplicated += copies - 1
+
+    def _record_drop(self, message: Message, cause: str) -> None:
+        key = (message.kind, cause)
+        counter = self._drop_handles.get(key)
+        if counter is None:
+            counter = self.telemetry.registry.counter(
+                "sim.messages.dropped", kind=message.kind, cause=cause
+            )
+            self._drop_handles[key] = counter
+        counter.inc()
+        self._n_dropped += 1
 
     @contextmanager
     def _running(self) -> Iterator[None]:
@@ -131,6 +212,30 @@ class Simulator:
         self._processes[process.address] = process
         process.simulator = self
         self.schedule(0.0, process.start)
+
+    def deregister(self, address: Address) -> "Process":
+        """Detach and return the process at *address*.
+
+        Deliveries to the address afterwards become counted drops
+        (``sim.messages.dropped`` with ``cause="unregistered"``) instead of
+        :class:`StateError` crashes, and periodic schedules installed with
+        ``schedule_every(..., owner=address)`` stop re-arming.
+        """
+        try:
+            process = self._processes.pop(address)
+        except KeyError:
+            raise StateError(f"no process registered at {address!r}") from None
+        process.simulator = None
+        return process
+
+    def is_registered(self, address: Address) -> bool:
+        """Whether a process is currently registered at *address*."""
+        return address in self._processes
+
+    @property
+    def process_count(self) -> int:
+        """Number of currently registered processes."""
+        return len(self._processes)
 
     def process(self, address: Address) -> "Process":
         """The registered process at *address*."""
@@ -154,17 +259,22 @@ class Simulator:
         *,
         first_delay: Optional[float] = None,
         until: Optional[float] = None,
+        owner: Optional[Address] = None,
     ) -> None:
         """Run *action* periodically every *period* units.
 
         The first firing happens after ``first_delay`` (default: one period).
         If *until* is given, firings at or after that time are suppressed.
+        If *owner* is given, the schedule is tied to that process address and
+        stops firing once the address is deregistered.
         """
         if period <= 0:
             raise StateError(f"period must be positive, got {period}")
 
         def fire() -> None:
             if until is not None and self.now >= until:
+                return
+            if owner is not None and owner not in self._processes:
                 return
             action()
             self.schedule(period, fire)
@@ -186,13 +296,38 @@ class Simulator:
             decided = self.interceptor(message, delay)
             if decided is not None:
                 delays = decided
+        self._record_sent(message, len(delays))
+        if not delays:
+            # The nominal copy was swallowed by the interceptor: account for
+            # it so `sent + duplicated == delivered + dropped + pending`.
+            self._record_drop(message, "intercepted")
+            return
+        for actual in delays:
+            self._schedule_delivery(message, sent_at, actual)
+
+    def _delivery_action(self, message: Message, sent_at: float) -> Callable[[], None]:
+        """The deliver closure for one copy of *message* (counts it pending)."""
+        self._n_undelivered += 1
 
         def deliver() -> None:
+            self._n_undelivered -= 1
+            recipient = self._processes.get(message.recipient)
+            if recipient is None:
+                self._record_drop(message, "unregistered")
+                return
             self._record_delivery(message, self.now - sent_at)
-            self.process(message.recipient).receive(message)
+            recipient.receive(message)
 
-        for actual in delays:
-            self.schedule(actual, deliver)
+        return deliver
+
+    def _schedule_delivery(self, message: Message, sent_at: float, delay: float) -> None:
+        """Schedule one delivery copy of *message* after *delay*.
+
+        Subclasses (the sharded engine) override this to route copies whose
+        recipient lives on a different shard; the base implementation keeps
+        everything on the local heap.
+        """
+        self.schedule(delay, self._delivery_action(message, sent_at))
 
     # -- execution ---------------------------------------------------------------
 
@@ -202,6 +337,7 @@ class Simulator:
             while self._heap and self._heap[0][0] <= end_time:
                 time, _, action = heapq.heappop(self._heap)
                 self.now = time
+                self._n_events += 1
                 action()
             self.now = max(self.now, end_time)
 
@@ -213,6 +349,7 @@ class Simulator:
                     return
                 time, _, action = heapq.heappop(self._heap)
                 self.now = time
+                self._n_events += 1
                 action()
         raise StateError(f"run_all exceeded {max_events} events; runaway schedule?")
 

@@ -42,7 +42,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -356,6 +366,39 @@ class ColumnarOverlayState:
             int(self.proxies[r]): self.services_of_row(r) for r in range(self.size)
         }
 
+    def shard_views(self, bounds: Sequence[int]) -> List["ColumnarShard"]:
+        """Slice the state into contiguous-cluster shards, zero-copy.
+
+        *bounds* is an increasing cluster-boundary sequence
+        ``[0, b1, ..., C]``; shard ``s`` owns clusters ``[bounds[s],
+        bounds[s+1])``. Because ``cluster_members`` is cluster-major, a
+        contiguous cluster range maps to a contiguous member-row range, so
+        every array in the returned views is a numpy view into this state's
+        storage (``coords`` is the shared buffer itself) — no copies.
+        """
+        bounds = [int(b) for b in bounds]
+        if len(bounds) < 2 or bounds[0] != 0 or bounds[-1] != self.cluster_count:
+            raise StateError(f"shard bounds must run 0..{self.cluster_count}, got {bounds}")
+        if any(b1 <= b0 for b0, b1 in zip(bounds, bounds[1:])):
+            raise StateError(f"shard bounds must be strictly increasing, got {bounds}")
+        views = []
+        for s, (lo, hi) in enumerate(zip(bounds, bounds[1:])):
+            r0 = int(self.cluster_ptr[lo])
+            r1 = int(self.cluster_ptr[hi])
+            views.append(
+                ColumnarShard(
+                    shard=s,
+                    cluster_lo=lo,
+                    cluster_hi=hi,
+                    cluster_ptr=self.cluster_ptr[lo : hi + 1],
+                    member_rows=self.cluster_members[r0:r1],
+                    border_rows=self.border_matrix[lo:hi],
+                    coords=self.coords,
+                    proxies=self.proxies,
+                )
+            )
+        return views
+
     # -- derived views (cached, zero-copy where the layout allows) -----------------
 
     def space_view(self) -> CoordinateSpace:
@@ -489,3 +532,43 @@ class ColumnarOverlayState:
             border_code=border_code,
             d_border=d_border,
         )
+
+
+@dataclass(frozen=True)
+class ColumnarShard:
+    """One shard's zero-copy window onto a :class:`ColumnarOverlayState`.
+
+    Shards own contiguous cluster-id ranges so every field below is a view
+    (``np.shares_memory`` with the parent arrays holds); ``coords`` and
+    ``proxies`` are the parent's shared buffers. ``cluster_ptr`` keeps the
+    parent's global row offsets — subtract ``row_lo`` for shard-local
+    indexing.
+    """
+
+    shard: int
+    cluster_lo: int
+    cluster_hi: int
+    cluster_ptr: np.ndarray   # (C_s + 1,) view into the parent cluster_ptr
+    member_rows: np.ndarray   # row indices of the shard's proxies (view)
+    border_rows: np.ndarray   # (C_s, C) view into the parent border_matrix
+    coords: np.ndarray        # the parent's shared coordinate buffer
+    proxies: np.ndarray       # the parent's shared proxy-id column
+
+    @property
+    def cluster_count(self) -> int:
+        """Number of clusters owned by this shard."""
+        return self.cluster_hi - self.cluster_lo
+
+    @property
+    def size(self) -> int:
+        """Number of proxies owned by this shard."""
+        return int(self.member_rows.shape[0])
+
+    @property
+    def row_lo(self) -> int:
+        """First global member-row offset covered by this shard."""
+        return int(self.cluster_ptr[0])
+
+    def proxy_ids(self) -> List[ProxyId]:
+        """The shard's proxy ids (gather — the one non-view accessor)."""
+        return [int(p) for p in self.proxies[self.member_rows]]

@@ -36,7 +36,7 @@ per-proxy table contents are identical in both modes —
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Union
 
 from repro.netsim.eventsim import Message, Process, Simulator
 from repro.overlay.hfc import HFCTopology
@@ -116,6 +116,19 @@ class _ProxyAgent(Process):
         self.proxy = proxy
         self.protocol = protocol
         self.state = protocol.states[proxy]
+        # Draw the start-up phase jitters at construction time, not in
+        # :meth:`start`: construction order equals registration order equals
+        # time-0 start order, so the values are identical to drawing them
+        # lazily — but precomputing makes them independent of how start
+        # events interleave, which the sharded engine relies on for
+        # shard-count-invariant runs.
+        rng = protocol._rng
+        self._local_jitter = rng.uniform(0.0, protocol.local_period * 0.2)
+        self._aggregate_jitter: Optional[float] = (
+            rng.uniform(0.0, protocol.aggregate_period * 0.2)
+            if protocol.border_peers.get(proxy)
+            else None
+        )
         if protocol.delta:
             self.emitter: Optional[DeltaEmitter] = DeltaEmitter(
                 refresh_every=protocol.refresh_every
@@ -164,19 +177,20 @@ class _ProxyAgent(Process):
     def start(self) -> None:
         sim = self.simulator
         assert sim is not None
-        rng = self.protocol._rng
-        jitter = rng.uniform(0.0, self.protocol.local_period * 0.2)
         sim.schedule_every(
-            self.protocol.local_period, self._broadcast_local, first_delay=jitter
+            self.protocol.local_period,
+            self._broadcast_local,
+            first_delay=self._local_jitter,
+            owner=self.address,
         )
-        if self.protocol.border_peers.get(self.proxy):
-            agg_jitter = rng.uniform(0.0, self.protocol.aggregate_period * 0.2)
+        if self._aggregate_jitter is not None:
             sim.schedule_every(
                 self.protocol.aggregate_period,
                 self._broadcast_aggregate,
                 # The first aggregate only makes sense once local state had a
                 # chance to spread; start after one local period.
-                first_delay=self.protocol.local_period + agg_jitter,
+                first_delay=self.protocol.local_period + self._aggregate_jitter,
+                owner=self.address,
             )
 
     def _broadcast_local(self) -> None:
@@ -288,6 +302,7 @@ class StateDistributionProtocol:
         telemetry=None,
         mode: str = "delta",
         refresh_every: int = 4,
+        sim: Optional[Simulator] = None,
     ) -> None:
         if local_period <= 0 or aggregate_period <= 0:
             raise StateError("protocol periods must be positive")
@@ -310,7 +325,9 @@ class StateDistributionProtocol:
         #: every K-th announcement per stream is a full snapshot
         self.refresh_every = refresh_every
         self._rng = ensure_rng(seed)
-        self.sim = Simulator(telemetry=telemetry)
+        # An injected simulator (e.g. a ShardedSimulator) brings its own
+        # telemetry scope; the protocol only creates one when it owns the sim.
+        self.sim = sim if sim is not None else Simulator(telemetry=telemetry)
         registry = self.sim.telemetry.registry
         self._dropped = registry.counter("protocol.messages.dropped")
         self._dropped_bytes = registry.counter("protocol.dropped_bytes")
@@ -449,6 +466,48 @@ class StateDistributionProtocol:
             agent.emitter = agent.emitter.restart()
             agent.assembler = DeltaAssembler()
         self.sim.telemetry.registry.counter("protocol.restarts").inc()
+
+    def remove_proxy(self, proxy: ProxyId) -> None:
+        """Permanently remove *proxy* from the protocol and the simulator.
+
+        The agent is deregistered (in-flight messages to it become counted
+        drops, its periodic broadcasts stop re-arming), and the membership
+        structures forget it so ground truth and peer fan-outs shrink.
+        Soft-state entries other proxies already hold about it age out
+        through the normal refresh flows — removal is a lifecycle operation,
+        not a retraction broadcast.
+        """
+        agent = self._agent_of.pop(proxy, None)
+        if agent is None:
+            raise StateError(f"unknown proxy {proxy!r}")
+        self._agents.remove(agent)
+        state = self.states.pop(proxy)
+        members = self.cluster_members.get(state.cluster_id)
+        if members is not None and proxy in members:
+            members.remove(proxy)
+        self.border_peers.pop(proxy, None)
+        for peers in self.border_peers.values():
+            while proxy in peers:
+                peers.remove(proxy)
+        if self.sim.is_registered(proxy):
+            self.sim.deregister(proxy)
+        self.sim.telemetry.registry.counter("protocol.departures").inc()
+
+    def track_membership(self, overlay) -> Callable[..., None]:
+        """Subscribe to a :class:`DynamicOverlay`-style change notifier.
+
+        ``leave`` events call :meth:`remove_proxy` for proxies this protocol
+        still tracks, so sustained churn no longer grows the simulator's
+        process registry or crashes on in-flight messages to departed
+        proxies. Returns the subscribed callback (for unsubscription).
+        """
+
+        def _on_change(version: int, **info: object) -> None:
+            proxy = info.get("proxy")
+            if info.get("kind") == "leave" and proxy in self._agent_of:
+                self.remove_proxy(proxy)  # type: ignore[arg-type]
+
+        return overlay.notifier.subscribe(_on_change)
 
     def snapshot_proxy(self, proxy: ProxyId) -> Dict[str, object]:
         """A JSON-ready capture of everything *proxy* knows right now.

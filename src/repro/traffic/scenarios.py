@@ -69,6 +69,7 @@ def run_traffic_under_faults(
     protocol_seed: RngLike = None,
     probes: int = 6,
     check_interval: float = 250.0,
+    sim: Optional[Any] = None,
 ) -> TrafficFaultResult:
     """Run sustained traffic while *plan* executes, under the auditor.
 
@@ -76,6 +77,10 @@ def run_traffic_under_faults(
     restart hook, and audit), with a traffic engine attached to the same
     simulator. The traffic duration is stretched to cover the auditor's
     settle window so load spans the whole fault-and-recovery timeline.
+
+    *sim* accepts a pre-built simulator — e.g. a sharded one from
+    :meth:`HFCFramework.simulator` — so the whole scenario (protocol,
+    injector, traffic) runs on it; results are shard-count-invariant.
     """
     protocol = StateDistributionProtocol(
         framework.hfc,
@@ -83,6 +88,7 @@ def run_traffic_under_faults(
         mode=mode,
         refresh_every=refresh_every,
         aggregate_period=aggregate_period,
+        sim=sim,
     )
 
     def on_restart(spec: Any) -> None:

@@ -150,12 +150,32 @@ class TestMessaging:
         with pytest.raises(StateError):
             sim.register(Recorder("a"))
 
-    def test_unknown_recipient_raises_on_delivery(self):
+    def test_unknown_recipient_is_counted_drop(self):
+        # in-flight messages to departed proxies must not crash the run:
+        # delivery to an unregistered address is a cause-tagged drop
         sim = Simulator()
         sim.register(Recorder("a"))
         sim.send(Message("a", "ghost", "k", None), delay=1.0)
-        with pytest.raises(StateError):
-            sim.run_all()
+        sim.run_all()
+        assert sim.messages_delivered == 0
+        assert sim.messages_dropped == 1
+        dropped = sim.telemetry.registry.counter(
+            "sim.messages.dropped", kind="k", cause="unregistered"
+        )
+        assert dropped.value == 1
+
+    def test_intercepted_drop_is_counted(self):
+        sim = Simulator()
+        sim.register(Recorder("a"))
+        sim.register(Recorder("b"))
+        sim.interceptor = lambda message, delay: []
+        sim.send(Message("a", "b", "k", None), delay=1.0)
+        sim.run_all()
+        assert sim.messages_dropped == 1
+        dropped = sim.telemetry.registry.counter(
+            "sim.messages.dropped", kind="k", cause="intercepted"
+        )
+        assert dropped.value == 1
 
     def test_unregistered_process_cannot_send(self):
         ghost = Recorder("ghost")
@@ -176,3 +196,128 @@ class TestMessaging:
         sim.register(starter)
         sim.run_all()
         assert starter.started_at == 0.0
+
+
+class TestLifecycle:
+    def test_deregister_removes_process(self):
+        sim = Simulator()
+        a = Recorder("a")
+        sim.register(a)
+        assert sim.is_registered("a")
+        assert sim.process_count == 1
+        returned = sim.deregister("a")
+        assert returned is a
+        assert a.simulator is None
+        assert not sim.is_registered("a")
+        assert sim.process_count == 0
+
+    def test_deregister_unknown_raises(self):
+        with pytest.raises(StateError):
+            Simulator().deregister("ghost")
+
+    def test_in_flight_to_departed_is_dropped_not_raised(self):
+        sim = Simulator()
+        sim.register(Recorder("a"))
+        bob = Recorder("b")
+        sim.register(bob)
+        sim.send(Message("a", "b", "k", None), delay=2.0)
+        sim.run_until(1.0)
+        sim.deregister("b")
+        sim.run_all()  # the delivery fires after departure: drop, no crash
+        assert bob.received == []
+        assert sim.messages_dropped == 1
+        assert sim.conservation()["balanced"]
+
+    def test_owned_periodic_stops_after_deregister(self):
+        sim = Simulator()
+        a = Recorder("a")
+        sim.register(a)
+        ticks = []
+        sim.schedule_every(1.0, lambda: ticks.append(sim.now), owner="a")
+        sim.run_until(3.5)
+        sim.deregister("a")
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_unowned_periodic_survives_deregister(self):
+        sim = Simulator()
+        sim.register(Recorder("a"))
+        ticks = []
+        sim.schedule_every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(1.5)
+        sim.deregister("a")
+        sim.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+
+class TestConservation:
+    def test_duplicated_copies_balance(self):
+        sim = Simulator()
+        sim.register(Recorder("a"))
+        sim.register(Recorder("b"))
+        sim.interceptor = lambda message, delay: [delay, delay + 1.0]
+        sim.send(Message("a", "b", "k", None), delay=1.0)
+        sim.run_all()
+        ledger = sim.conservation()
+        assert ledger["sent"] == 1
+        assert ledger["duplicated"] == 1
+        assert ledger["delivered"] == 2
+        assert ledger["balanced"]
+
+    def test_pending_counts_in_flight(self):
+        sim = Simulator()
+        sim.register(Recorder("a"))
+        sim.register(Recorder("b"))
+        sim.send(Message("a", "b", "k", None), delay=5.0)
+        sim.run_until(1.0)
+        ledger = sim.conservation()
+        assert ledger["pending"] == 1
+        assert ledger["balanced"]
+        sim.run_all()
+        assert sim.conservation()["pending"] == 0
+
+    def test_property_random_lifecycle_conserves(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        ops = st.lists(
+            st.tuples(
+                st.sampled_from(["send", "dup", "drop", "leave", "run"]),
+                st.integers(min_value=0, max_value=4),
+                st.floats(min_value=0.1, max_value=8.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+
+        @settings(max_examples=40, deadline=None)
+        @given(ops)
+        def check(sequence):
+            sim = Simulator()
+            names = [f"p{i}" for i in range(5)]
+            for name in names:
+                sim.register(Recorder(name))
+            for op, idx, delay in sequence:
+                target = names[idx]
+                if op == "send":
+                    sim.interceptor = None
+                    sim.send(Message("p0", target, "k", None), delay=delay)
+                elif op == "dup":
+                    sim.interceptor = lambda m, d: [d, d + 0.5]
+                    sim.send(Message("p0", target, "k", None), delay=delay)
+                elif op == "drop":
+                    sim.interceptor = lambda m, d: []
+                    sim.send(Message("p0", target, "k", None), delay=delay)
+                elif op == "leave":
+                    if sim.is_registered(target) and target != "p0":
+                        sim.deregister(target)
+                elif op == "run":
+                    sim.run_until(sim.now + delay)
+                ledger = sim.conservation()
+                assert ledger["balanced"], ledger
+            sim.run_all()
+            final = sim.conservation()
+            assert final["pending"] == 0
+            assert final["balanced"], final
+
+        check()
